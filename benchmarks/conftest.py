@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark file regenerates one experiment of DESIGN.md's index (the
+paper has no numbered tables/figures; its claims are the theorems).  The
+benchmarked callable runs the experiment at the ``quick`` configuration so
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; the printed
+report contains the same series/rows that the full-size run in EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Configuration used by every benchmark (small but non-trivial sizes)."""
+    return ExperimentConfig(sizes=[128, 256, 512], num_pairs=4, trials=6, seed=20070610)
+
+
+def report(result) -> None:
+    """Print the experiment report so it appears in the benchmark output."""
+    print()
+    print(result.to_text())

@@ -1,0 +1,17 @@
+"""Benchmark for EXP-8 — ablation of the ball scheme's level mixture (extension)."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import exp_ball_ablation
+
+
+@pytest.mark.benchmark(group="EXP-8")
+def test_exp8_ball_level_ablation(benchmark, bench_config):
+    result = benchmark.pedantic(exp_ball_ablation.run, args=(bench_config,), iterations=1, rounds=1)
+    report(result)
+    paper = result.get_series("uniform levels (paper)")
+    smallest = result.get_series("smallest level only")
+    # Dropping the large scales must hurt: the smallest-level variant needs
+    # far more steps than the paper's mixture at the largest benchmarked size.
+    assert smallest.values[-1] > 2.0 * paper.values[-1]

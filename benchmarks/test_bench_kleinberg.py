@@ -1,0 +1,17 @@
+"""Benchmark for EXP-7 — Kleinberg harmonic-scheme calibration on the 2-D torus."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import exp_kleinberg
+
+
+@pytest.mark.benchmark(group="EXP-7")
+def test_exp7_kleinberg_calibration(benchmark, bench_config):
+    result = benchmark.pedantic(exp_kleinberg.run, args=(bench_config,), iterations=1, rounds=1)
+    report(result)
+    sweep = result.series[0]
+    # The greedy diameter at the critical exponent r=2 must not exceed the
+    # r=4 (too-local links) value: the U-shape has its minimum in the middle.
+    by_exponent = sweep.metadata
+    assert by_exponent["r=2"] <= by_exponent["r=4"] * 1.1

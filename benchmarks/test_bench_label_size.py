@@ -1,0 +1,21 @@
+"""Benchmark for EXP-5 — Theorem 3: small label spaces force polynomial greedy diameter."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import exp_label_size
+
+
+@pytest.mark.benchmark(group="EXP-5")
+def test_exp5_label_size_lower_bound(benchmark, bench_config):
+    result = benchmark.pedantic(exp_label_size.run, args=(bench_config,), iterations=1, rounds=1)
+    report(result)
+    for eps in exp_label_size.EPSILONS:
+        series = result.get_series(f"eps={eps:g}")
+        fit = series.power_law()
+        assert fit is not None
+        # Theorem 3 floor: exponent at least (1 - eps)/3 (generous noise margin).
+        floor = (1.0 - eps) / 3.0
+        assert fit.exponent >= floor - 0.15, (
+            f"eps={eps}: measured exponent {fit.exponent:.3f} violates the (1-eps)/3 floor"
+        )

@@ -1,0 +1,19 @@
+"""Benchmark for EXP-3 — Theorem 2's (M, L) scheme: O(min{ps(G)·log² n, √n})."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import exp_matrix_label
+
+
+@pytest.mark.benchmark(group="EXP-3")
+def test_exp3_matrix_label_scheme(benchmark, bench_config):
+    result = benchmark.pedantic(exp_matrix_label.run, args=(bench_config,), iterations=1, rounds=1)
+    report(result)
+    # The uniform component preserves the universal fallback: the full (M, L)
+    # scheme stays within a small factor of the plain uniform scheme.
+    for family in ("path", "caterpillar", "spider", "torus2d"):
+        t2 = result.get_series(f"theorem2/{family}")
+        uni = result.get_series(f"uniform/{family}")
+        for v_t2, v_uni in zip(t2.values, uni.values):
+            assert v_t2 <= 4.0 * v_uni + 10.0, f"(M,L) lost the sqrt(n) fallback on {family}"

@@ -1,0 +1,22 @@
+"""Benchmark for EXP-2 — Theorem 1's Ω(√n) lower bound for name-independent schemes."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import exp_name_independent
+
+
+@pytest.mark.benchmark(group="EXP-2")
+def test_exp2_name_independent_lower_bound(benchmark, bench_config):
+    result = benchmark.pedantic(
+        exp_name_independent.run, args=(bench_config,), iterations=1, rounds=1
+    )
+    report(result)
+    for series in result.series:
+        if not series.name.startswith("adversarial/"):
+            continue
+        fit = series.power_law()
+        assert fit is not None
+        # The adversarial labeling must keep every candidate matrix in the
+        # polynomial regime (no polylog escape below the sqrt(n) barrier).
+        assert fit.exponent >= 0.3, f"{series.name} escaped the barrier: {fit.summary()}"

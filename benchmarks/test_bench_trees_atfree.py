@@ -1,0 +1,20 @@
+"""Benchmark for EXP-4 — Corollary 1: trees and AT-free graphs under (M, L)."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import exp_trees_atfree
+
+
+@pytest.mark.benchmark(group="EXP-4")
+def test_exp4_trees_and_atfree(benchmark, bench_config):
+    result = benchmark.pedantic(exp_trees_atfree.run, args=(bench_config,), iterations=1, rounds=1)
+    report(result)
+    # On every family the ancestor-driven scheme must actually shortcut:
+    # the measured greedy diameter is far below the graph diameter (which is
+    # Theta(n) for these path-like instances).
+    for series in result.series:
+        if not series.name.startswith("ancestor_only/"):
+            continue
+        for n, value in zip(series.sizes, series.values):
+            assert value < 0.6 * n, f"{series.name} does not shortcut at n={n}"

@@ -1,0 +1,22 @@
+"""Benchmark for EXP-1 — the uniform scheme's O(√n) universal bound.
+
+Regenerates the "uniform scheme scaling" series of EXPERIMENTS.md at the
+quick configuration and asserts the qualitative claim (fitted exponents stay
+in the √n regime).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import exp_uniform
+
+
+@pytest.mark.benchmark(group="EXP-1")
+def test_exp1_uniform_scheme(benchmark, bench_config):
+    result = benchmark.pedantic(exp_uniform.run, args=(bench_config,), iterations=1, rounds=1)
+    report(result)
+    for series in result.series:
+        fit = series.power_law()
+        assert fit is not None
+        # O(sqrt(n)) bound: exponents must not exceed ~0.5 by more than noise.
+        assert fit.exponent <= 0.75, f"{series.name} grows faster than sqrt(n): {fit.summary()}"

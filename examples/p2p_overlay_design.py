@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Designing shortcut links for a peer-to-peer overlay (a network-design view).
+
+A classic systems reading of the paper: you operate an overlay network whose
+base topology you do *not* control (a ring of peers, a tree of proxies, a
+lollipop-shaped backbone with a long access chain, …).  You may give every
+peer exactly **one** extra "finger" link, and lookups are greedy: each peer
+forwards to whichever of its links is closest to the key's owner.
+
+Which finger-placement policy should you ship?
+
+* ``uniform``  — point the finger at a uniformly random peer (no topology
+  knowledge needed).  Peleg's bound: lookups take O(√n) hops on any topology.
+* ``theorem2`` — the (M, L) policy built from a path decomposition of the
+  topology: polylog hops when the topology is path-like, never worse than
+  ~2x uniform otherwise.
+* ``ball``     — the Theorem-4 policy (pick a random radius scale, point the
+  finger at a random peer within that radius): Õ(n^{1/3}) hops on *every*
+  topology — the universal winner.
+
+The script sweeps overlay sizes, prints the hop counts and fits the growth
+exponents so the asymptotic claims are visible directly.
+
+Run:  python examples/p2p_overlay_design.py
+"""
+
+from repro import estimate_greedy_diameter, generators, make_scheme
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.tables import format_table
+
+
+TOPOLOGIES = {
+    "ring backbone": lambda n: generators.cycle_graph(n),
+    "proxy tree": lambda n: generators.random_tree(n, seed=5),
+    "lollipop (cluster + access chain)": lambda n: generators.lollipop_graph(
+        max(4, n // 8), n - max(4, n // 8)
+    ),
+}
+
+POLICIES = ("uniform", "theorem2", "ball")
+SIZES = (256, 512, 1024, 2048)
+
+
+def main() -> None:
+    print("One finger link per peer - greedy lookups - worst sampled pair\n")
+    for topology_name, factory in TOPOLOGIES.items():
+        rows = []
+        series = {policy: [] for policy in POLICIES}
+        for n in SIZES:
+            graph = factory(n)
+            row = [n]
+            for policy in POLICIES:
+                scheme = make_scheme(policy, graph, seed=1)
+                estimate = estimate_greedy_diameter(
+                    graph, scheme, num_pairs=5, trials=8, seed=n
+                )
+                series[policy].append(estimate.diameter)
+                row.append(round(estimate.diameter, 1))
+            rows.append(row)
+        exponent_row = ["growth exponent"]
+        for policy in POLICIES:
+            fit = fit_power_law(SIZES, series[policy])
+            exponent_row.append(f"n^{fit.exponent:.2f}")
+        rows.append(exponent_row)
+        print(f"--- {topology_name} ---")
+        print(format_table(rows, headers=["peers", *POLICIES]))
+        print()
+    print(
+        "Reading the exponent rows: the uniform policy sits near n^0.5 on the\n"
+        "ring and lollipop (the sqrt(n) barrier), while the ball policy stays\n"
+        "near n^(1/3) everywhere - the paper's universal improvement. The (M,L)\n"
+        "policy tracks uniform within a factor ~2 and pulls ahead on path-like\n"
+        "topologies as n grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

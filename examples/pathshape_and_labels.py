@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Inside Theorem 2: path decompositions, pathshape and the dyadic labeling.
+
+This example opens up the machinery behind the (M, L) scheme:
+
+1. compute path decompositions and the *pathshape* upper bound for several
+   graph classes (paths, caterpillars, trees, interval graphs, a torus),
+2. derive the Theorem-2 labeling ``L`` from the decomposition and show the
+   dyadic ancestor structure on which the matrix ``A`` places its jumps,
+3. route with the ancestor component alone to see the landmarks in action.
+
+Run:  python examples/pathshape_and_labels.py
+"""
+
+from repro import Theorem2Scheme, estimate_greedy_diameter, estimate_pathshape, generators
+from repro.analysis.tables import format_table
+from repro.decomposition.exact import path_decomposition_of_interval_graph
+from repro.decomposition.labeling import integer_ancestors, integer_level
+
+
+def pathshape_portfolio() -> None:
+    print("=== pathshape upper bounds witnessed by the decomposition portfolio ===")
+    instances = {
+        "path(512)": generators.path_graph(512),
+        "caterpillar(256 spine)": generators.caterpillar_graph(256, 1),
+        "binary tree(511)": generators.binary_tree(511),
+        "random tree(512)": generators.random_tree(512, seed=3),
+        "torus 16x16": generators.torus_graph([16, 16]),
+    }
+    rows = []
+    for name, graph in instances.items():
+        estimate = estimate_pathshape(graph)
+        rows.append(
+            [name, graph.num_nodes, estimate.shape, estimate.width, estimate.strategy]
+        )
+    graph, intervals = generators.random_interval_graph(512, seed=9)
+    exact = path_decomposition_of_interval_graph(intervals)
+    estimate = estimate_pathshape(graph, compute_length=True, external={"interval": exact})
+    rows.append(["random interval(512)", graph.num_nodes, estimate.shape, estimate.width, estimate.strategy])
+    print(
+        format_table(
+            rows, headers=["graph", "n", "pathshape <=", "pathwidth <=", "winning strategy"]
+        )
+    )
+    print(
+        "\nSmall pathshape (paths, caterpillars, trees, interval graphs) is what\n"
+        "Theorem 2 converts into polylogarithmic greedy routing; the torus row\n"
+        "shows a family where the pathshape is polynomially large and the (M,L)\n"
+        "scheme falls back on its uniform component.\n"
+    )
+
+
+def labeling_demo() -> None:
+    print("=== the dyadic labeling L on a 32-node path ===")
+    graph = generators.path_graph(32)
+    scheme = Theorem2Scheme(graph, seed=0)
+    labels = scheme.labels
+    rows = []
+    for node in (0, 7, 15, 16, 23, 31):
+        label = int(labels[node])
+        ancestors = integer_ancestors(label, max_value=32)
+        rows.append(
+            [node, label, integer_level(label), " -> ".join(str(a) for a in ancestors)]
+        )
+    print(format_table(rows, headers=["node", "label L(u)", "level", "ancestor chain (jump targets)"]))
+    print(
+        "\nA node's long-range link (ancestor component of M) targets a uniformly\n"
+        "chosen label on its ancestor chain; the chain climbs the dyadic hierarchy,\n"
+        "so jumps reach the middle of exponentially growing regions of the path —\n"
+        "this is what replaces Kleinberg's harmonic distances in a universal way.\n"
+    )
+
+
+def routing_with_ancestors_only() -> None:
+    print("=== routing with the ancestor component only (mixture = 0) ===")
+    rows = []
+    for n in (256, 512, 1024, 2048):
+        graph = generators.path_graph(n)
+        ancestor_only = Theorem2Scheme(graph, uniform_mixture=0.0, seed=1)
+        full = Theorem2Scheme(graph, seed=1)
+        est_anc = estimate_greedy_diameter(graph, ancestor_only, num_pairs=5, trials=8, seed=n)
+        est_full = estimate_greedy_diameter(graph, full, num_pairs=5, trials=8, seed=n)
+        rows.append([n, n - 1, round(est_anc.diameter, 1), round(est_full.diameter, 1)])
+    print(
+        format_table(
+            rows,
+            headers=["n", "graph diameter", "ancestor-only steps", "full (M,L) steps"],
+        )
+    )
+    print(
+        "\nThe ancestor jumps alone already collapse the path's Theta(n) diameter to\n"
+        "a slowly growing number of steps (the ps(G)·log² n branch of Theorem 2);\n"
+        "mixing the uniform matrix back in costs about a factor two but restores\n"
+        "the sqrt(n) guarantee on graphs whose pathshape is large."
+    )
+
+
+def main() -> None:
+    pathshape_portfolio()
+    labeling_demo()
+    routing_with_ancestors_only()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: augment a graph, route greedily, estimate the greedy diameter.
+
+This walks through the three central objects of the paper on a ring network:
+
+1. an *augmentation scheme* ``φ`` assigns every node one random long-range
+   link (we compare the uniform scheme, Kleinberg's harmonic scheme, the
+   Theorem-2 (M, L) scheme and the Theorem-4 ball scheme),
+2. *greedy routing* forwards a message to the neighbour (local or long-range)
+   closest to the target in the underlying graph,
+3. the *greedy diameter* ``max_{s,t} E[steps]`` is estimated by Monte Carlo.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BallScheme,
+    Theorem2Scheme,
+    UniformScheme,
+    estimate_greedy_diameter,
+    generators,
+    greedy_route,
+)
+from repro.analysis.tables import format_table
+from repro.core.base import AugmentedGraph
+from repro.core.kleinberg import DistancePowerScheme
+from repro.graphs.distances import bfs_distances
+
+
+def single_route_demo() -> None:
+    """Route one message across a ring with and without long-range links."""
+    print("=== one greedy route on a 512-node ring ===")
+    ring = generators.cycle_graph(512)
+    source, target = 0, 256  # antipodal pair: graph distance 256
+
+    # Without augmentation greedy routing just walks the ring.
+    dist_to_target = bfs_distances(ring, target)
+    plain = greedy_route(ring, dist_to_target, source, target, lambda u: None)
+    print(f"no long-range links : {plain.steps} steps (pure walk)")
+
+    # With the Theorem-4 ball scheme most of the distance is covered by jumps.
+    scheme = BallScheme(ring, seed=1)
+    augmented = AugmentedGraph.from_scheme(scheme, rng=2)
+    routed = greedy_route(ring, dist_to_target, source, target, augmented.contact)
+    print(
+        f"ball scheme         : {routed.steps} steps "
+        f"({routed.long_links_used} long-range jumps)"
+    )
+    print()
+
+
+def greedy_diameter_comparison() -> None:
+    """Estimate the greedy diameter of every scheme on the same ring."""
+    print("=== greedy diameter on a 1024-node ring (paper's asymptotics) ===")
+    ring = generators.cycle_graph(1024)
+    schemes = [
+        ("no augmentation (graph diameter)", None),
+        ("uniform  ~ sqrt(n)        [Peleg]", UniformScheme(ring, seed=1)),
+        ("harmonic r=1 (Kleinberg 1-D)", DistancePowerScheme(ring, 1.0, seed=1)),
+        ("theorem2 (M,L) ~ min(ps log^2 n, sqrt n)", Theorem2Scheme(ring, seed=1)),
+        ("ball     ~ n^(1/3)        [Theorem 4]", BallScheme(ring, seed=1)),
+    ]
+    rows = []
+    for name, scheme in schemes:
+        if scheme is None:
+            rows.append([name, 512])
+            continue
+        estimate = estimate_greedy_diameter(ring, scheme, num_pairs=6, trials=8, seed=3)
+        rows.append([name, round(estimate.diameter, 1)])
+    print(format_table(rows, headers=["scheme", "estimated greedy diameter (steps)"]))
+    print()
+    print(
+        "A single long-range link per node collapses the 512-step diameter to a few\n"
+        "dozen greedy steps.  At this size the augmented schemes are close to each\n"
+        "other; the asymptotic separation the paper proves (n^(1/3) for the ball\n"
+        "scheme vs sqrt(n) for the uniform scheme) shows up in the growth exponents\n"
+        "of the scaling study - run examples/p2p_overlay_design.py to see it."
+    )
+
+
+def main() -> None:
+    single_route_demo()
+    greedy_diameter_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Milgram-style decentralised search in a social-network model.
+
+The paper's motivation is the "six degrees of separation" experiment: people
+forward a letter to the acquaintance they believe is closest to the target,
+using only local knowledge.  Augmented graphs model exactly this — a local
+acquaintance structure (the underlying graph) plus one long-range
+acquaintance per person (the augmentation), searched greedily.
+
+This example builds two "societies":
+
+* a *geographic* society — a Watts–Strogatz ring lattice where everybody
+  knows their neighbours plus a few shortcuts, and
+* a *corporate* society — a shallow hierarchy (a tree) of teams.
+
+and measures how quickly letters reach their targets under the different
+universal augmentation schemes.  The punchline mirrors the paper: an
+organiser who can only add *uniformly random* acquaintances gets √n-step
+searches, while the structure-aware ball scheme of Theorem 4 gets the same
+society searchable in ~n^(1/3) steps — without assuming anything about the
+society's shape.
+
+Run:  python examples/social_network_milgram.py
+"""
+
+from repro import BallScheme, Theorem2Scheme, UniformScheme, estimate_greedy_diameter, generators
+from repro.analysis.tables import format_table
+
+
+def build_societies(num_people: int):
+    """Two social substrates with very different structure."""
+    geographic = generators.watts_strogatz_graph(num_people, 4, 0.05, seed=11)
+    corporate = generators.random_tree(num_people, seed=13)
+    return {
+        "geographic (Watts-Strogatz ring)": geographic,
+        "corporate hierarchy (random tree)": corporate,
+    }
+
+
+def main() -> None:
+    num_people = 1024
+    print(f"Milgram-style search among {num_people} people")
+    print("(expected number of forwarding steps, worst sampled source/target pair)\n")
+
+    societies = build_societies(num_people)
+    rows = []
+    for society_name, graph in societies.items():
+        schemes = {
+            "uniform acquaintances": UniformScheme(graph, seed=1),
+            "(M,L) scheme (Thm 2)": Theorem2Scheme(graph, seed=1),
+            "ball scheme (Thm 4)": BallScheme(graph, seed=1),
+        }
+        for scheme_name, scheme in schemes.items():
+            estimate = estimate_greedy_diameter(
+                graph, scheme, num_pairs=6, trials=8, seed=17
+            )
+            rows.append(
+                [
+                    society_name,
+                    scheme_name,
+                    round(estimate.diameter, 1),
+                    round(estimate.mean, 1),
+                    f"{100 * estimate.long_link_fraction:.0f}%",
+                ]
+            )
+    print(
+        format_table(
+            rows,
+            headers=["society", "augmentation", "worst pair", "average", "steps via long links"],
+        )
+    )
+    print(
+        "\nBoth societies become searchable in a handful of steps once every person\n"
+        "gets a single well-chosen long-range acquaintance — and the ball scheme\n"
+        "achieves this without knowing whether the society is a ring or a tree,\n"
+        "which is precisely the 'universal augmentation' message of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — reproduction of *Universal augmentation schemes for network navigability:
+overcoming the √n-barrier* (Fraigniaud, Gavoille, Kosowski, Lebhar, Lotker, SPAA 2007).
+
+The package implements, from scratch on top of numpy:
+
+* a graph substrate (:mod:`repro.graphs`) with generators, BFS/distance
+  machinery and balls,
+* tree / path decompositions, the *shape* measure and the pathshape parameter
+  introduced by the paper (:mod:`repro.decomposition`),
+* every augmentation scheme discussed in the paper — uniform, Kleinberg
+  distance-power, matrix-based name-independent schemes, the (M, L) scheme of
+  Theorem 2 and the Õ(n^{1/3}) ball scheme of Theorem 4 — plus the adversarial
+  constructions of the lower bounds (:mod:`repro.core`),
+* a greedy-routing engine with Monte-Carlo estimation of the greedy diameter
+  (:mod:`repro.routing`),
+* scaling analysis and the per-theorem experiment harness
+  (:mod:`repro.analysis`, :mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import generators, BallScheme, estimate_greedy_diameter
+>>> g = generators.cycle_graph(512)
+>>> scheme = BallScheme(g, seed=1)
+>>> result = estimate_greedy_diameter(g, scheme, num_pairs=16, trials=8, seed=2)
+>>> result.mean < 512
+True
+"""
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.graphs.builders import GraphBuilder
+from repro.core.base import AugmentationScheme, AugmentedGraph
+from repro.core.uniform import UniformScheme
+from repro.core.kleinberg import DistancePowerScheme
+from repro.core.matrix import AugmentationMatrix, MatrixScheme
+from repro.core.matrix_label import Theorem2Scheme
+from repro.core.ball_scheme import BallScheme
+from repro.core.registry import make_scheme, available_schemes
+from repro.routing.simulator import (
+    estimate_expected_steps,
+    estimate_greedy_diameter,
+)
+from repro.routing.greedy import greedy_route
+from repro.decomposition.pathshape import estimate_pathshape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "generators",
+    "AugmentationScheme",
+    "AugmentedGraph",
+    "UniformScheme",
+    "DistancePowerScheme",
+    "AugmentationMatrix",
+    "MatrixScheme",
+    "Theorem2Scheme",
+    "BallScheme",
+    "make_scheme",
+    "available_schemes",
+    "greedy_route",
+    "estimate_expected_steps",
+    "estimate_greedy_diameter",
+    "estimate_pathshape",
+    "__version__",
+]

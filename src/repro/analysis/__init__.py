@@ -1,0 +1,23 @@
+"""Analysis helpers: scaling-law fits, tables and experiment reports."""
+
+from repro.analysis.scaling import (
+    fit_power_law,
+    fit_polylog,
+    PowerLawFit,
+    PolylogFit,
+    classify_growth,
+)
+from repro.analysis.tables import format_table, format_markdown_table
+from repro.analysis.reporting import ExperimentResult, SeriesResult
+
+__all__ = [
+    "fit_power_law",
+    "fit_polylog",
+    "PowerLawFit",
+    "PolylogFit",
+    "classify_growth",
+    "format_table",
+    "format_markdown_table",
+    "ExperimentResult",
+    "SeriesResult",
+]

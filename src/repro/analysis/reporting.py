@@ -1,0 +1,132 @@
+"""Structured experiment results.
+
+Every experiment module returns an :class:`ExperimentResult`: a set of named
+series (one per scheme / graph family), each mapping problem size ``n`` to a
+measured quantity (usually the estimated greedy diameter), plus fitted
+exponents and a free-form conclusion comparing measurement against the
+paper's claim.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.scaling import PowerLawFit, fit_power_law
+from repro.analysis.tables import format_markdown_table, format_table
+
+__all__ = ["SeriesResult", "ExperimentResult"]
+
+
+@dataclass
+class SeriesResult:
+    """One measured curve: quantity vs problem size."""
+
+    name: str
+    sizes: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, size: int, value: float) -> None:
+        """Append a measurement."""
+        self.sizes.append(int(size))
+        self.values.append(float(value))
+
+    def power_law(self) -> Optional[PowerLawFit]:
+        """Power-law fit of the series (``None`` with fewer than two points)."""
+        if len(self.sizes) < 2:
+            return None
+        return fit_power_law(self.sizes, self.values)
+
+    def as_dict(self) -> dict:
+        fit = self.power_law()
+        return {
+            "name": self.name,
+            "sizes": self.sizes,
+            "values": self.values,
+            "exponent": fit.exponent if fit else None,
+            "r_squared": fit.r_squared if fit else None,
+            "metadata": self.metadata,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Full result of one experiment (one id of the DESIGN.md index)."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    series: List[SeriesResult] = field(default_factory=list)
+    conclusion: str = ""
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def add_series(self, series: SeriesResult) -> None:
+        self.series.append(series)
+
+    def get_series(self, name: str) -> SeriesResult:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def summary_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for s in self.series:
+            fit = s.power_law()
+            rows.append(
+                [
+                    s.name,
+                    ", ".join(str(n) for n in s.sizes),
+                    ", ".join(f"{v:.1f}" for v in s.values),
+                    f"{fit.exponent:.3f}" if fit else "n/a",
+                    f"{fit.r_squared:.3f}" if fit else "n/a",
+                ]
+            )
+        return rows
+
+    def to_text(self) -> str:
+        """Plain-text report (printed by the example scripts and the benches)."""
+        headers = ["series", "sizes", "values", "exponent", "R^2"]
+        lines = [
+            f"[{self.experiment_id}] {self.title}",
+            f"paper claim: {self.paper_claim}",
+            format_table(self.summary_rows(), headers),
+        ]
+        if self.conclusion:
+            lines.append(f"conclusion: {self.conclusion}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Markdown report (pasted into EXPERIMENTS.md)."""
+        headers = ["series", "sizes", "values", "exponent", "R^2"]
+        parts = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            f"*Paper claim*: {self.paper_claim}",
+            "",
+            format_markdown_table(self.summary_rows(), headers),
+        ]
+        if self.conclusion:
+            parts.extend(["", f"*Conclusion*: {self.conclusion}"])
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Machine-readable JSON dump."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "paper_claim": self.paper_claim,
+                "parameters": self.parameters,
+                "series": [s.as_dict() for s in self.series],
+                "conclusion": self.conclusion,
+            },
+            indent=2,
+            default=str,
+        )

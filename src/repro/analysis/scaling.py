@@ -1,0 +1,148 @@
+"""Scaling-law fits used to compare measurements against the theorems.
+
+Every statement of the paper is asymptotic — ``O(√n)``, ``Õ(n^{1/3})``,
+``O(ps(G)·log² n)``, ``Ω(n^β)`` — so the reproduction compares *fitted growth
+exponents* rather than absolute step counts:
+
+* :func:`fit_power_law` fits ``y ≈ c · n^α`` by least squares in log–log
+  space and reports the exponent ``α`` with its standard error and ``R²``,
+* :func:`fit_polylog` fits ``y ≈ c · (log n)^d`` for a given degree ``d``
+  and reports the ratio spread (a bounded ratio indicates polylog growth),
+* :func:`classify_growth` decides between "polylog" and "polynomial" by
+  comparing the two fits, which is how EXP-3/EXP-4 check Corollary 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "PolylogFit", "fit_power_law", "fit_polylog", "classify_growth"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = c · n^exponent`` in log–log space."""
+
+    exponent: float
+    prefactor: float
+    stderr: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Fitted value at *n*."""
+        return self.prefactor * float(n) ** self.exponent
+
+    def summary(self) -> str:
+        return (
+            f"y ~ {self.prefactor:.3g} * n^{self.exponent:.3f} "
+            f"(± {self.stderr:.3f}, R²={self.r_squared:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class PolylogFit:
+    """Fit of ``y = c · (log₂ n)^degree`` via the median ratio."""
+
+    degree: float
+    prefactor: float
+    ratio_spread: float
+
+    def predict(self, n: float) -> float:
+        """Fitted value at *n*."""
+        return self.prefactor * float(np.log2(n)) ** self.degree
+
+    def summary(self) -> str:
+        return (
+            f"y ~ {self.prefactor:.3g} * (log n)^{self.degree:g} "
+            f"(ratio spread {self.ratio_spread:.2f})"
+        )
+
+
+def fit_power_law(sizes: Sequence[float], values: Sequence[float]) -> PowerLawFit:
+    """Fit ``values ≈ c · sizes^α`` by ordinary least squares on logs."""
+    raw_x = np.asarray(list(sizes), dtype=float)
+    raw_y = np.asarray(list(values), dtype=float)
+    if raw_x.size != raw_y.size or raw_x.size < 2:
+        raise ValueError("need at least two (size, value) points")
+    if np.any(raw_x <= 0) or np.any(raw_y <= 0) or np.any(~np.isfinite(raw_x)) or np.any(~np.isfinite(raw_y)):
+        raise ValueError("sizes and values must be positive and finite")
+    x = np.log(raw_x)
+    y = np.log(raw_y)
+    design = np.vstack([x, np.ones_like(x)]).T
+    coef, residuals, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    slope, intercept = float(coef[0]), float(coef[1])
+    fitted = design @ coef
+    ss_res = float(np.sum((y - fitted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    dof = max(1, x.size - 2)
+    x_var = float(np.sum((x - x.mean()) ** 2))
+    stderr = float(np.sqrt(ss_res / dof / x_var)) if x_var > 0 else float("inf")
+    return PowerLawFit(
+        exponent=slope,
+        prefactor=float(np.exp(intercept)),
+        stderr=stderr,
+        r_squared=r_squared,
+    )
+
+
+def fit_polylog(sizes: Sequence[float], values: Sequence[float], degree: float) -> PolylogFit:
+    """Fit ``values ≈ c · (log₂ sizes)^degree``.
+
+    The prefactor is the median of ``value / (log n)^degree``; ``ratio_spread``
+    is the max/min ratio of those normalised values — close to 1 means the
+    polylog model explains the data well.
+    """
+    n = np.asarray(list(sizes), dtype=float)
+    y = np.asarray(list(values), dtype=float)
+    if n.size != y.size or n.size < 1:
+        raise ValueError("need at least one (size, value) point")
+    logs = np.log2(n)
+    if np.any(logs <= 0):
+        raise ValueError("sizes must be greater than 1")
+    ratios = y / logs ** float(degree)
+    spread = float(ratios.max() / ratios.min()) if np.all(ratios > 0) else float("inf")
+    return PolylogFit(degree=float(degree), prefactor=float(np.median(ratios)), ratio_spread=spread)
+
+
+def classify_growth(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    *,
+    polylog_degree: float = 3.0,
+    polynomial_threshold: float = 0.2,
+) -> str:
+    """Classify a growth curve as ``"polylog"`` or ``"polynomial"``.
+
+    Over the narrow size ranges a simulation can reach, ``log^d n`` and
+    ``n^α`` curves both look like straight-ish lines in log–log space, so a
+    single exponent threshold cannot separate them.  Instead the two models
+    are fitted head to head —
+
+    * polynomial:  ``log y = a + α · log n``
+    * polylog:     ``log y = a + d · log(log₂ n)``  (degree fitted freely)
+
+    — and the model with the smaller residual sum of squares wins.  Exactly
+    polylogarithmic data therefore classifies as ``"polylog"`` even when its
+    apparent power-law exponent exceeds *polynomial_threshold*; curves whose
+    fitted exponent is below *polynomial_threshold* (essentially flat) are
+    classified polylog outright.
+    """
+    x = np.asarray(list(sizes), dtype=float)
+    y = np.asarray(list(values), dtype=float)
+    power = fit_power_law(x, y)
+    if power.exponent < polynomial_threshold:
+        return "polylog"
+    log_y = np.log(y)
+    log_n = np.log(x)
+    log_log_n = np.log(np.log2(x))
+
+    def residual(features: np.ndarray) -> float:
+        design = np.vstack([features, np.ones_like(features)]).T
+        coef, _, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+        return float(np.sum((log_y - design @ coef) ** 2))
+
+    return "polynomial" if residual(log_n) <= residual(log_log_n) else "polylog"

@@ -1,0 +1,43 @@
+"""Plain-text and Markdown table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(row: Iterable) -> List[str]:
+    out = []
+    for cell in row:
+        if isinstance(cell, float):
+            out.append(f"{cell:.3f}")
+        else:
+            out.append(str(cell))
+    return out
+
+
+def format_table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
+    """Fixed-width plain-text table (used by the CLI-style example scripts)."""
+    headers = [str(h) for h in headers]
+    str_rows = [_stringify(row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
+    """GitHub-flavoured Markdown table (used by EXPERIMENTS.md generation)."""
+    headers = [str(h) for h in headers]
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row)) + " |")
+    return "\n".join(lines)

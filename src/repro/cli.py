@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Four subcommands cover the library's day-to-day uses without writing Python:
+
+* ``repro graph``      — generate a graph and print its basic statistics,
+* ``repro pathshape``  — estimate the pathshape of a generated graph,
+* ``repro route``      — estimate the greedy diameter of a (graph, scheme) pair,
+* ``repro experiment`` — run one or all of the paper's experiments.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.registry import available_schemes, make_scheme
+from repro.decomposition.pathshape import estimate_pathshape
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import EXPERIMENT_MODULES, render_markdown, run_all
+from repro.graphs import generators
+from repro.graphs.distances import diameter
+from repro.graphs.graph import Graph
+from repro.routing.simulator import estimate_greedy_diameter
+
+__all__ = ["main", "build_parser", "GRAPH_FAMILIES"]
+
+#: CLI-exposed graph families: name -> factory(n, seed) -> Graph.
+GRAPH_FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
+    "path": lambda n, seed: generators.path_graph(n),
+    "ring": lambda n, seed: generators.cycle_graph(n),
+    "grid2d": lambda n, seed: generators.grid_graph([max(2, int(round(n ** 0.5)))] * 2),
+    "torus2d": lambda n, seed: generators.torus_graph([max(3, int(round(n ** 0.5)))] * 2),
+    "tree": lambda n, seed: generators.random_tree(n, seed=seed),
+    "caterpillar": lambda n, seed: generators.caterpillar_graph(max(2, n // 2), 1),
+    "spider": lambda n, seed: generators.spider_graph(4, max(1, (n - 1) // 4)),
+    "interval": lambda n, seed: generators.random_interval_graph(n, seed=seed)[0],
+    "permutation": lambda n, seed: generators.random_permutation_graph(n, seed=seed)[0],
+    "lollipop": lambda n, seed: generators.lollipop_graph(max(4, n // 8), n - max(4, n // 8)),
+    "watts-strogatz": lambda n, seed: generators.watts_strogatz_graph(max(8, n), 4, 0.1, seed=seed),
+    "erdos-renyi": lambda n, seed: generators.erdos_renyi_graph(n, min(1.0, 4.0 / max(1, n)), seed=seed),
+}
+
+
+def _make_graph(family: str, size: int, seed: int) -> Graph:
+    try:
+        factory = GRAPH_FAMILIES[family]
+    except KeyError as exc:
+        raise SystemExit(
+            f"unknown graph family {family!r}; choose from {', '.join(sorted(GRAPH_FAMILIES))}"
+        ) from exc
+    return factory(size, seed)
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand handlers
+# --------------------------------------------------------------------------- #
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.family, args.size, args.seed)
+    rows = [
+        ["name", graph.name],
+        ["nodes", graph.num_nodes],
+        ["edges", graph.num_edges],
+        ["min degree", int(graph.degrees().min())],
+        ["max degree", int(graph.degrees().max())],
+        ["avg degree", round(float(graph.degrees().mean()), 3)],
+    ]
+    if args.diameter:
+        rows.append(["diameter", diameter(graph, exact=graph.num_nodes <= 2048)])
+    print(format_table(rows, headers=["property", "value"]))
+    return 0
+
+
+def _cmd_pathshape(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.family, args.size, args.seed)
+    estimate = estimate_pathshape(graph, compute_length=args.lengths)
+    rows = [
+        ["graph", graph.name],
+        ["pathshape <=", estimate.shape],
+        ["pathwidth <=", estimate.width],
+        ["bags", estimate.decomposition.num_bags],
+        ["winning strategy", estimate.strategy],
+    ]
+    print(format_table(rows, headers=["property", "value"]))
+    print()
+    print(format_table(sorted(estimate.candidates.items()), headers=["strategy", "witnessed shape"]))
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.family, args.size, args.seed)
+    rows = []
+    for scheme_name in args.schemes:
+        scheme = make_scheme(scheme_name, graph, seed=args.seed)
+        estimate = estimate_greedy_diameter(
+            graph,
+            scheme,
+            num_pairs=args.pairs,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        rows.append(
+            [
+                scheme_name,
+                round(estimate.diameter, 2),
+                round(estimate.mean, 2),
+                f"{100 * estimate.long_link_fraction:.0f}%",
+            ]
+        )
+    print(f"graph: {graph.name} (n={graph.num_nodes}, m={graph.num_edges})")
+    print(
+        format_table(
+            rows, headers=["scheme", "greedy diameter", "mean steps", "long-link share"]
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
+    only = args.only if args.only else None
+    results = run_all(config, only=only, verbose=not args.markdown)
+    if args.markdown:
+        print(render_markdown(results))
+    if not results:
+        print("no experiments matched the --only filter", file=sys.stderr)
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Universal augmentation schemes for network navigability (SPAA 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_graph = sub.add_parser("graph", help="generate a graph and print statistics")
+    p_graph.add_argument("family", choices=sorted(GRAPH_FAMILIES))
+    p_graph.add_argument("--size", "-n", type=int, default=256)
+    p_graph.add_argument("--seed", type=int, default=0)
+    p_graph.add_argument("--diameter", action="store_true", help="also compute the diameter")
+    p_graph.set_defaults(handler=_cmd_graph)
+
+    p_shape = sub.add_parser("pathshape", help="estimate the pathshape of a graph")
+    p_shape.add_argument("family", choices=sorted(GRAPH_FAMILIES))
+    p_shape.add_argument("--size", "-n", type=int, default=256)
+    p_shape.add_argument("--seed", type=int, default=0)
+    p_shape.add_argument("--lengths", action="store_true", help="evaluate bag lengths (slower, tighter)")
+    p_shape.set_defaults(handler=_cmd_pathshape)
+
+    p_route = sub.add_parser("route", help="estimate the greedy diameter under one or more schemes")
+    p_route.add_argument("family", choices=sorted(GRAPH_FAMILIES))
+    p_route.add_argument("--size", "-n", type=int, default=512)
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.add_argument("--pairs", type=int, default=8)
+    p_route.add_argument("--trials", type=int, default=8)
+    p_route.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["uniform", "ball"],
+        help=f"schemes to compare (available: {', '.join(available_schemes())})",
+    )
+    p_route.set_defaults(handler=_cmd_route)
+
+    p_exp = sub.add_parser("experiment", help="run the paper's experiments")
+    p_exp.add_argument(
+        "--only",
+        nargs="*",
+        help=f"experiment ids to run (available: {', '.join(m.EXPERIMENT_ID for m in EXPERIMENT_MODULES)})",
+    )
+    p_exp.add_argument("--quick", action="store_true", help="use the small benchmark configuration")
+    p_exp.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    p_exp.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

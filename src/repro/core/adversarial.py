@@ -1,0 +1,230 @@
+"""Adversarial constructions behind the lower bounds (Theorems 1 and 3).
+
+**Theorem 1** — for *any* augmentation matrix ``A`` of size ``n`` there is a
+labeling of the ``n``-node path on which greedy routing needs ``Ω(√n)``
+expected steps.  The proof finds an index set ``I`` of size ``√n`` whose total
+internal probability mass ``Σ_{i≠j ∈ I} p_{i,j}`` is below one (an averaging
+argument shows such a set must exist), assigns the labels of ``I`` to ``√n``
+consecutive path nodes and routes between two nodes a third of the way into
+that segment: with constant probability not a single long link lands inside
+the segment, so greedy routing must walk.
+
+:func:`find_sparse_index_set` reproduces the existence argument
+constructively (greedy removal of the heaviest index, with random restarts),
+and :func:`adversarial_path_labeling` builds the labeled path instance plus
+the (source, target) pair used in the proof.
+
+**Theorem 3** — any matrix scheme restricted to labels of size ``ε·log n``
+bits (i.e. at most ``n^ε`` distinct labels) has greedy diameter ``Ω(n^β)`` on
+the path for every ``β < (1-ε)/3``.  :func:`block_labeling` produces the
+natural "contiguous blocks" labeling with ``k`` labels that the experiments
+sweep, and :func:`popular_interval` mirrors the proof's notion of an interval
+containing only *popular* labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matrix import AugmentationMatrix
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "find_sparse_index_set",
+    "internal_mass",
+    "AdversarialPathInstance",
+    "adversarial_path_labeling",
+    "block_labeling",
+    "popular_interval",
+]
+
+
+def internal_mass(matrix: AugmentationMatrix, index_set: Sequence[int]) -> float:
+    """``Σ_{i ≠ j ∈ I} p_{i,j}`` for a set ``I`` of 1-based labels."""
+    idx = np.asarray(sorted(set(int(i) - 1 for i in index_set)), dtype=np.int64)
+    if idx.size == 0:
+        return 0.0
+    if idx.min() < 0 or idx.max() >= matrix.size:
+        raise ValueError("index set contains out-of-range labels")
+    block = matrix.entries[np.ix_(idx, idx)]
+    return float(block.sum() - np.trace(block))
+
+
+def find_sparse_index_set(
+    matrix: AugmentationMatrix,
+    size: int,
+    *,
+    threshold: float = 1.0,
+    max_restarts: int = 32,
+    seed: RngLike = None,
+) -> List[int]:
+    """Find ``I`` with ``|I| = size`` and ``Σ_{i≠j∈I} p_{i,j} < threshold``.
+
+    Strategy: start from all labels and greedily remove the label with the
+    largest internal contribution until only *size* remain.  The averaging
+    argument of Theorem 1 guarantees a suitable set exists whenever
+    ``size ≈ √n``; if the greedy pass overshoots the threshold (possible for
+    adversarially structured matrices), random restarts over random initial
+    subsets are attempted before giving up.
+
+    Returns 1-based labels.
+    """
+    size = check_positive_int(size, "size")
+    n = matrix.size
+    if size > n:
+        raise ValueError(f"requested set of size {size} from only {n} labels")
+    entries = matrix.entries
+
+    def greedy_from(candidates: np.ndarray) -> Tuple[List[int], float]:
+        members = np.asarray(sorted(set(int(c) for c in candidates)), dtype=np.int64)
+        block = entries[np.ix_(members, members)].copy()
+        np.fill_diagonal(block, 0.0)
+        # contribution[k] = mass of all ordered pairs involving members[k].
+        contrib = block.sum(axis=0) + block.sum(axis=1)
+        alive = np.ones(members.size, dtype=bool)
+        alive_count = members.size
+        # Greedily remove the heaviest member; contributions are updated
+        # incrementally so the whole pass costs O(|candidates|^2) vector ops.
+        while alive_count > size:
+            masked = np.where(alive, contrib, -np.inf)
+            worst = int(np.argmax(masked))
+            alive[worst] = False
+            alive_count -= 1
+            contrib -= block[worst, :] + block[:, worst]
+        chosen_positions = np.nonzero(alive)[0]
+        mass = float(block[np.ix_(chosen_positions, chosen_positions)].sum())
+        chosen = [int(members[k]) for k in chosen_positions]
+        return [c + 1 for c in chosen], mass
+
+    labels, mass = greedy_from(np.arange(n))
+    if mass < threshold:
+        return labels
+    rng = ensure_rng(seed)
+    best_labels, best_mass = labels, mass
+    for _ in range(max_restarts):
+        candidates = rng.choice(n, size=min(n, max(size, 4 * size)), replace=False)
+        labels, mass = greedy_from(np.asarray(sorted(candidates), dtype=np.int64))
+        if mass < best_mass:
+            best_labels, best_mass = labels, mass
+        if best_mass < threshold:
+            return best_labels
+    if best_mass >= threshold:
+        raise RuntimeError(
+            f"could not find an index set of size {size} with internal mass < {threshold} "
+            f"(best found: {best_mass:.4f}); the matrix may violate Definition 1"
+        )
+    return best_labels
+
+
+@dataclass(frozen=True)
+class AdversarialPathInstance:
+    """The Theorem-1 hard instance: a labeled path plus the hard (s, t) pair.
+
+    Attributes
+    ----------
+    labels:
+        1-based labels for the path nodes ``0 … n-1``.
+    segment:
+        ``(start, end)`` node range (inclusive/exclusive) holding the sparse
+        index set ``I``.
+    source, target:
+        The pair used in the proof: both inside the segment, ``|S|/3`` from
+        either end and ``|S|/3`` apart.
+    internal_mass:
+        ``Σ_{i≠j∈I} p_{i,j}`` of the chosen set — the expected number of long
+        links with both endpoints in the segment.
+    """
+
+    labels: np.ndarray
+    segment: Tuple[int, int]
+    source: int
+    target: int
+    internal_mass: float
+
+
+def adversarial_path_labeling(
+    matrix: AugmentationMatrix,
+    num_nodes: int,
+    *,
+    seed: RngLike = None,
+) -> AdversarialPathInstance:
+    """Build Theorem 1's worst-case labeling of the path for *matrix*.
+
+    The path is ``0 - 1 - … - n-1``.  A sparse index set ``I`` of size
+    ``⌊√n⌋`` is placed on ``|I|`` consecutive nodes in the middle of the path
+    (in arbitrary order, as in the proof); the remaining labels are assigned
+    to the remaining nodes arbitrarily (all labels distinct).
+    """
+    n = check_positive_int(num_nodes, "num_nodes", minimum=4)
+    if matrix.size < n:
+        raise ValueError(f"matrix of size {matrix.size} cannot label {n} distinct nodes")
+    rng = ensure_rng(seed)
+    segment_size = max(3, int(np.floor(np.sqrt(n))))
+    index_set = find_sparse_index_set(matrix, segment_size, seed=rng)
+    start = (n - segment_size) // 2
+    end = start + segment_size
+    labels = np.zeros(n, dtype=np.int64)
+    segment_labels = list(index_set)
+    rng.shuffle(segment_labels)
+    labels[start:end] = segment_labels
+    remaining = [lab for lab in range(1, matrix.size + 1) if lab not in set(index_set)]
+    rng.shuffle(remaining)
+    outside = [i for i in range(n) if not (start <= i < end)]
+    for node, lab in zip(outside, remaining):
+        labels[node] = lab
+    third = segment_size // 3
+    source = start + third
+    target = end - 1 - third
+    if target <= source:
+        source, target = start, end - 1
+    return AdversarialPathInstance(
+        labels=labels,
+        segment=(start, end),
+        source=source,
+        target=target,
+        internal_mass=internal_mass(matrix, index_set),
+    )
+
+
+def block_labeling(num_nodes: int, num_labels: int) -> np.ndarray:
+    """Label path node ``i`` with ``⌊i · num_labels / num_nodes⌋ + 1``.
+
+    This is the natural "small label space" labeling used by the Theorem-3
+    experiment: with ``num_labels = n^ε`` every label is *popular* (used by
+    ``≈ n^{1-ε}`` nodes), which is exactly the regime where the theorem's
+    interval argument forbids polylogarithmic greedy diameter.
+    """
+    n = check_positive_int(num_nodes, "num_nodes")
+    k = check_positive_int(num_labels, "num_labels")
+    if k > n:
+        raise ValueError("cannot use more labels than nodes")
+    return (np.arange(n) * k) // n + 1
+
+
+def popular_interval(
+    labels: np.ndarray,
+    interval_length: int,
+    popularity_threshold: int,
+) -> Optional[Tuple[int, int]]:
+    """Find an interval of path nodes containing only *popular* labels.
+
+    A label is popular when at least *popularity_threshold* nodes carry it
+    (the proof of Theorem 3 uses ``n^α``).  The path ``0 … n-1`` is scanned in
+    blocks of *interval_length*; the first block whose labels are all popular
+    is returned as ``(start, end)`` (end exclusive), or ``None``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = labels.size
+    interval_length = check_positive_int(interval_length, "interval_length")
+    popularity_threshold = check_positive_int(popularity_threshold, "popularity_threshold")
+    counts = np.bincount(labels)
+    popular = set(int(lab) for lab in np.nonzero(counts >= popularity_threshold)[0])
+    for start in range(0, n - interval_length + 1, interval_length):
+        window = labels[start: start + interval_length]
+        if all(int(lab) in popular for lab in window):
+            return (start, start + interval_length)
+    return None

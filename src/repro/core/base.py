@@ -1,0 +1,162 @@
+"""Base interfaces for augmentation schemes and augmented graphs.
+
+The paper's model gives each node a single long-range link whose head is
+drawn from a per-node probability distribution ``φ_u``.  Greedy routing then
+treats that link exactly like a local edge when comparing distances to the
+target.  Two usage modes are supported:
+
+* **lazy sampling** — the routing simulator asks the scheme for node ``u``'s
+  contact only when the route actually visits ``u`` (and memoises it for the
+  duration of one trial).  This is statistically identical to sampling every
+  link upfront because the links are independent, and it is what makes large
+  Monte-Carlo sweeps affordable.
+* **eager sampling** — :class:`AugmentedGraph` materialises one contact per
+  node, which is convenient for inspection, examples and tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_node_index
+
+__all__ = ["AugmentationScheme", "AugmentedGraph", "NO_CONTACT"]
+
+#: Sentinel meaning "this node has no long-range link" (augmentation-matrix
+#: rows may sum to less than one, Definition 1).
+NO_CONTACT: int = -1
+
+
+class AugmentationScheme(abc.ABC):
+    """A collection of probability distributions ``φ = {φ_u}`` over contacts.
+
+    Subclasses implement :meth:`sample_contact` and, when the distribution is
+    cheap to write down, :meth:`contact_distribution` (used by the tests to
+    check the sampler against the exact probabilities).
+    """
+
+    #: short machine-readable identifier used in experiment reports.
+    scheme_name: str = "abstract"
+
+    def __init__(self, graph: Graph, *, seed: RngLike = None) -> None:
+        if graph.num_nodes == 0:
+            raise ValueError("augmentation requires a non-empty graph")
+        self._graph = graph
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Core interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying (non-augmented) graph ``G``."""
+        return self._graph
+
+    @abc.abstractmethod
+    def sample_contact(self, node: int, rng: Optional[np.random.Generator] = None) -> Optional[int]:
+        """Draw the long-range contact of *node* from ``φ_node``.
+
+        Returns ``None`` when the node gets no long-range link (allowed by
+        Definition 1 for sub-stochastic rows).
+        """
+
+    def contact_distribution(self, node: int) -> np.ndarray:
+        """Exact distribution ``φ_node`` as a dense array of length ``n``.
+
+        Entries sum to at most one; the missing mass is the probability of
+        having no long-range link.  Subclasses override this when feasible;
+        the default raises ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose an explicit contact distribution"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers
+    # ------------------------------------------------------------------ #
+
+    def sample_all_contacts(self, rng: RngLike = None) -> np.ndarray:
+        """Sample one contact per node; entries are node ids or ``NO_CONTACT``."""
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        n = self._graph.num_nodes
+        out = np.full(n, NO_CONTACT, dtype=np.int64)
+        for u in range(n):
+            contact = self.sample_contact(u, generator)
+            if contact is not None:
+                out[u] = int(contact)
+        return out
+
+    def describe(self) -> str:
+        """One-line human-readable description (overridable)."""
+        return f"{self.scheme_name} on {self._graph.name} (n={self._graph.num_nodes})"
+
+    def reset_cache(self) -> None:
+        """Drop any per-node caches (distance arrays etc.).  No-op by default."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(graph={self._graph.name!r}, n={self._graph.num_nodes})"
+
+
+class AugmentedGraph:
+    """A graph together with one concrete sampled long-range link per node.
+
+    This is the object the paper calls ``(G, φ)`` *after* the random choices
+    have been made.  Greedy routing on an :class:`AugmentedGraph` is fully
+    deterministic.
+    """
+
+    def __init__(self, graph: Graph, contacts: np.ndarray) -> None:
+        contacts = np.asarray(contacts, dtype=np.int64)
+        if contacts.shape != (graph.num_nodes,):
+            raise ValueError("contacts must have exactly one entry per node")
+        for u, c in enumerate(contacts):
+            if c != NO_CONTACT:
+                check_node_index(int(c), graph.num_nodes, f"contact of node {u}")
+        self._graph = graph
+        self._contacts = contacts
+
+    @classmethod
+    def from_scheme(cls, scheme: AugmentationScheme, rng: RngLike = None) -> "AugmentedGraph":
+        """Sample every node's long-range link from *scheme*."""
+        return cls(scheme.graph, scheme.sample_all_contacts(rng))
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph ``G``."""
+        return self._graph
+
+    @property
+    def contacts(self) -> np.ndarray:
+        """Array of long-range contacts (``NO_CONTACT`` marks absent links)."""
+        view = self._contacts.view()
+        view.setflags(write=False)
+        return view
+
+    def contact(self, node: int) -> Optional[int]:
+        """The long-range contact of *node*, or ``None``."""
+        node = check_node_index(node, self._graph.num_nodes)
+        c = int(self._contacts[node])
+        return None if c == NO_CONTACT else c
+
+    def long_range_edges(self) -> Dict[int, int]:
+        """Mapping ``{u: contact(u)}`` restricted to nodes that have a link."""
+        return {
+            int(u): int(c)
+            for u, c in enumerate(self._contacts)
+            if c != NO_CONTACT
+        }
+
+    def out_degree(self, node: int) -> int:
+        """Local degree plus one if the node has a long-range link."""
+        node = check_node_index(node, self._graph.num_nodes)
+        return self._graph.degree(node) + (0 if self._contacts[node] == NO_CONTACT else 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        links = int(np.count_nonzero(self._contacts != NO_CONTACT))
+        return f"AugmentedGraph(n={self._graph.num_nodes}, long_links={links})"

@@ -1,0 +1,72 @@
+"""The uniform (name-independent) augmentation scheme.
+
+Every node draws its long-range contact uniformly at random among all ``n``
+nodes.  Peleg observed (as recalled in the paper's introduction) that this
+simple universal scheme already guarantees greedy diameter ``O(√n)`` on every
+graph: the ball ``B`` of the ``√n`` closest nodes to the target is hit by the
+current node's long-range link with probability ``≥ √n / n``, so after an
+expected ``√n`` steps the route enters ``B``, from which at most ``√n`` local
+steps remain.
+
+Theorem 1 proves this is *optimal* among name-independent matrix schemes, and
+Theorem 4's ball scheme is the paper's answer for beating it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import AugmentationScheme
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_node_index
+
+__all__ = ["UniformScheme"]
+
+
+class UniformScheme(AugmentationScheme):
+    """Uniform long-range links: ``φ_u(v) = 1/n`` for every ``v``.
+
+    Parameters
+    ----------
+    graph:
+        Underlying graph.
+    exclude_self:
+        When true the contact is drawn uniformly among the other ``n - 1``
+        nodes.  The paper's uniform matrix has ``u_{i,j} = 1/n`` including the
+        diagonal; the default (``False``) follows the paper (a self-link is
+        simply useless for routing).
+    seed:
+        Seed for the scheme's internal generator (used when no per-trial
+        generator is supplied to :meth:`sample_contact`).
+    """
+
+    scheme_name = "uniform"
+
+    def __init__(self, graph: Graph, *, exclude_self: bool = False, seed: RngLike = None) -> None:
+        super().__init__(graph, seed=seed)
+        self._exclude_self = bool(exclude_self)
+
+    def sample_contact(self, node: int, rng: Optional[np.random.Generator] = None) -> Optional[int]:
+        node = check_node_index(node, self._graph.num_nodes)
+        generator = rng if rng is not None else self._rng
+        n = self._graph.num_nodes
+        if self._exclude_self:
+            if n == 1:
+                return None
+            contact = int(generator.integers(0, n - 1))
+            return contact if contact < node else contact + 1
+        return int(generator.integers(0, n))
+
+    def contact_distribution(self, node: int) -> np.ndarray:
+        node = check_node_index(node, self._graph.num_nodes)
+        n = self._graph.num_nodes
+        if self._exclude_self:
+            if n == 1:
+                return np.zeros(1)
+            probs = np.full(n, 1.0 / (n - 1))
+            probs[node] = 0.0
+            return probs
+        return np.full(n, 1.0 / n)

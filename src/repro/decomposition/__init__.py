@@ -1,0 +1,60 @@
+"""Tree and path decompositions, the *shape* measure, and pathshape.
+
+Section 2.2 of the paper introduces the **shape** of a bag of a tree
+decomposition as ``min(width, length)`` — a tradeoff between the classic
+treewidth measure (bag cardinality minus one) and treelength (maximum
+in-graph distance between bag members) — and defines the **pathshape**
+``ps(G)`` as the minimum over path decompositions of the maximum bag shape.
+Theorem 2's (M, L) scheme routes in ``O(min{ps(G)·log² n, √n})`` steps, so
+this package provides:
+
+* decomposition data structures with full validity checking
+  (:class:`TreeDecomposition`, :class:`PathDecomposition`),
+* exact constructions for the graph classes the paper names (paths,
+  caterpillars, trees, interval graphs),
+* heuristic constructions for arbitrary graphs (elimination orderings and the
+  centroid tree→path conversion with an ``O(log n)`` width blow-up),
+* pathshape estimation (:func:`estimate_pathshape`), and
+* the node labeling ``L`` used by Theorem 2 (:func:`theorem2_labeling`).
+"""
+
+from repro.decomposition.bags import bag_width, bag_length, bag_shape
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.decomposition.path_decomposition import PathDecomposition
+from repro.decomposition.elimination import (
+    min_degree_ordering,
+    min_fill_ordering,
+    tree_decomposition_from_ordering,
+)
+from repro.decomposition.tree_to_path import tree_decomposition_to_path
+from repro.decomposition.exact import (
+    path_decomposition_of_path,
+    path_decomposition_of_cycle,
+    path_decomposition_of_caterpillar,
+    path_decomposition_of_tree,
+    path_decomposition_of_interval_graph,
+)
+from repro.decomposition.pathshape import estimate_pathshape, PathshapeEstimate
+from repro.decomposition.labeling import theorem2_labeling, integer_level, integer_ancestors
+
+__all__ = [
+    "bag_width",
+    "bag_length",
+    "bag_shape",
+    "TreeDecomposition",
+    "PathDecomposition",
+    "min_degree_ordering",
+    "min_fill_ordering",
+    "tree_decomposition_from_ordering",
+    "tree_decomposition_to_path",
+    "path_decomposition_of_path",
+    "path_decomposition_of_cycle",
+    "path_decomposition_of_caterpillar",
+    "path_decomposition_of_tree",
+    "path_decomposition_of_interval_graph",
+    "estimate_pathshape",
+    "PathshapeEstimate",
+    "theorem2_labeling",
+    "integer_level",
+    "integer_ancestors",
+]

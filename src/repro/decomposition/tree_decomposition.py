@@ -1,0 +1,247 @@
+"""Tree decompositions with full validity checking.
+
+A tree decomposition of ``G`` is a pair ``(T, X)`` where ``T`` is a tree on
+bag indices and ``X = {X_i}`` assigns a set of graph nodes to each bag such
+that (1) every node appears in some bag, (2) every edge is contained in some
+bag and (3) for every node the bags containing it induce a subtree of ``T``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.decomposition.bags import DistanceOracle, bag_length, bag_shape, bag_width
+from repro.graphs.graph import Graph
+
+__all__ = ["TreeDecomposition"]
+
+
+class TreeDecomposition:
+    """A tree decomposition ``(T, X)``.
+
+    Parameters
+    ----------
+    bags:
+        Sequence of node sets (any iterable of ints per bag).
+    tree_edges:
+        Edges between bag indices forming a tree (may be empty when there is
+        a single bag).
+    """
+
+    def __init__(
+        self,
+        bags: Sequence[Iterable[int]],
+        tree_edges: Sequence[Tuple[int, int]],
+    ) -> None:
+        self._bags: List[FrozenSet[int]] = [frozenset(int(v) for v in bag) for bag in bags]
+        self._edges: List[Tuple[int, int]] = [(int(a), int(b)) for a, b in tree_edges]
+        b = len(self._bags)
+        for (a, c) in self._edges:
+            if not (0 <= a < b and 0 <= c < b):
+                raise ValueError(f"tree edge ({a}, {c}) references a missing bag")
+            if a == c:
+                raise ValueError("tree edges must join distinct bags")
+        if b > 0 and len(self._edges) != b - 1:
+            raise ValueError(f"a tree on {b} bags needs exactly {b - 1} edges, got {len(self._edges)}")
+        if b > 0 and not self._tree_is_connected():
+            raise ValueError("tree edges do not form a connected tree over the bags")
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bags(self) -> List[FrozenSet[int]]:
+        """List of bags (frozensets of graph nodes)."""
+        return list(self._bags)
+
+    @property
+    def tree_edges(self) -> List[Tuple[int, int]]:
+        """Edges of the decomposition tree over bag indices."""
+        return list(self._edges)
+
+    @property
+    def num_bags(self) -> int:
+        return len(self._bags)
+
+    def bag(self, i: int) -> FrozenSet[int]:
+        return self._bags[i]
+
+    def neighbors(self, i: int) -> List[int]:
+        """Bag indices adjacent to bag *i* in the decomposition tree."""
+        out = []
+        for a, b in self._edges:
+            if a == i:
+                out.append(b)
+            elif b == i:
+                out.append(a)
+        return out
+
+    def adjacency(self) -> List[List[int]]:
+        """Adjacency lists of the decomposition tree."""
+        adj: List[List[int]] = [[] for _ in range(self.num_bags)]
+        for a, b in self._edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        return adj
+
+    # ------------------------------------------------------------------ #
+    # Measures
+    # ------------------------------------------------------------------ #
+
+    def width(self) -> int:
+        """Width of the decomposition: ``max_i |X_i| - 1``."""
+        if not self._bags:
+            return -1
+        return max(bag_width(bag) for bag in self._bags)
+
+    def length(self, graph: Graph, *, oracle: Optional[DistanceOracle] = None) -> int:
+        """Length of the decomposition: maximum in-graph diameter of a bag."""
+        if not self._bags:
+            return 0
+        oracle = oracle or DistanceOracle(graph)
+        return max(bag_length(bag, oracle) for bag in self._bags)
+
+    def shape(
+        self,
+        graph: Optional[Graph] = None,
+        *,
+        oracle: Optional[DistanceOracle] = None,
+        width_only: bool = False,
+    ) -> int:
+        """Shape of the decomposition: ``max_i min(width(X_i), length(X_i))``.
+
+        With ``width_only=True`` (or without a graph) the per-bag length term
+        is skipped; the result is then an upper bound on the true shape.
+        """
+        if not self._bags:
+            return -1
+        if not width_only and oracle is None and graph is not None:
+            oracle = DistanceOracle(graph)
+        return max(bag_shape(bag, oracle, width_only=width_only) for bag in self._bags)
+
+    # ------------------------------------------------------------------ #
+    # Validity
+    # ------------------------------------------------------------------ #
+
+    def is_valid_for(self, graph: Graph) -> bool:
+        """Whether this is a valid tree decomposition of *graph*."""
+        return not self.violations(graph)
+
+    def violations(self, graph: Graph) -> List[str]:
+        """Human-readable list of validity violations (empty when valid)."""
+        problems: List[str] = []
+        n = graph.num_nodes
+        covered: Set[int] = set()
+        for bag in self._bags:
+            for v in bag:
+                if v < 0 or v >= n:
+                    problems.append(f"bag contains out-of-range node {v}")
+                covered.add(v)
+        missing = set(range(n)) - covered
+        if missing:
+            problems.append(f"nodes not covered by any bag: {sorted(missing)[:10]}")
+        for (u, v) in graph.edges():
+            if not any(u in bag and v in bag for bag in self._bags):
+                problems.append(f"edge ({u}, {v}) not contained in any bag")
+                break
+        # Connectivity of the set of bags containing each node.
+        adj = self.adjacency()
+        for v in range(n):
+            holding = [i for i, bag in enumerate(self._bags) if v in bag]
+            if not holding:
+                continue
+            seen = {holding[0]}
+            queue = deque([holding[0]])
+            holding_set = set(holding)
+            while queue:
+                i = queue.popleft()
+                for j in adj[i]:
+                    if j in holding_set and j not in seen:
+                        seen.add(j)
+                        queue.append(j)
+            if seen != holding_set:
+                problems.append(f"bags containing node {v} do not induce a connected subtree")
+        return problems
+
+    # ------------------------------------------------------------------ #
+    # Constructions
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def trivial(cls, graph: Graph) -> "TreeDecomposition":
+        """The single-bag decomposition containing every node (width n-1)."""
+        return cls([set(range(graph.num_nodes))], [])
+
+    @classmethod
+    def of_tree(cls, graph: Graph) -> "TreeDecomposition":
+        """The natural width-1 decomposition of a tree: one bag per edge.
+
+        Bags are arranged in a tree mirroring the input tree (bag of edge
+        ``{u, v}`` attaches to the bag of the parent edge of ``u``).  Raises
+        ``ValueError`` if *graph* is not a tree.
+        """
+        n = graph.num_nodes
+        if n == 0:
+            return cls([], [])
+        if graph.num_edges != n - 1:
+            raise ValueError("graph is not a tree (wrong edge count)")
+        if n == 1:
+            return cls([{0}], [])
+        # Root the tree at 0 and create one bag per (parent, child) edge.
+        parent = [-1] * n
+        order: List[int] = []
+        seen = [False] * n
+        seen[0] = True
+        queue = deque([0])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in graph.neighbors(u):
+                v = int(v)
+                if not seen[v]:
+                    seen[v] = True
+                    parent[v] = u
+                    queue.append(v)
+        if not all(seen):
+            raise ValueError("graph is not a tree (disconnected)")
+        bag_of_node: Dict[int, int] = {}
+        bags: List[Set[int]] = []
+        edges: List[Tuple[int, int]] = []
+        for u in order[1:]:
+            idx = len(bags)
+            bags.append({u, parent[u]})
+            bag_of_node[u] = idx
+            p = parent[u]
+            if p in bag_of_node:
+                edges.append((bag_of_node[p], idx))
+            elif p == 0 and idx > 0:
+                # Children of the root attach to the first root bag.
+                root_bag = bag_of_node.get(order[1], 0)
+                if idx != root_bag:
+                    edges.append((root_bag, idx))
+            bag_of_node.setdefault(p, idx)
+        return cls(bags, edges)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _tree_is_connected(self) -> bool:
+        b = self.num_bags
+        if b <= 1:
+            return True
+        adj = self.adjacency()
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            i = queue.popleft()
+            for j in adj[i]:
+                if j not in seen:
+                    seen.add(j)
+                    queue.append(j)
+        return len(seen) == b
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TreeDecomposition(bags={self.num_bags}, width={self.width()})"

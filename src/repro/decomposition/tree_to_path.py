@@ -1,0 +1,124 @@
+"""Centroid conversion of a tree decomposition into a path decomposition.
+
+The paper's Theorem 2 applies to *path* decompositions.  For graph classes
+where only a good *tree* decomposition is available (trees themselves,
+bounded-treewidth graphs, elimination-order heuristics), the classic
+conversion gives a path decomposition whose width grows by a factor
+``O(log b)`` where ``b`` is the number of bags:
+
+1. find a centroid bag ``c`` of the decomposition tree (removing it leaves
+   components of at most half the bags),
+2. recursively convert each component,
+3. concatenate the component path decompositions in any order and add
+   ``X_c`` to *every* bag.
+
+Correctness: a node outside ``X_c`` appears only in bags of a single
+component (otherwise the subtree of bags containing it would pass through
+``c``), so its occurrence stays consecutive; nodes of ``X_c`` appear
+everywhere; every edge was covered by some original bag, which survives as a
+subset of some produced bag.  The recursion depth is ``O(log b)`` and each
+level adds at most ``width + 1`` nodes to a bag, giving
+``pathwidth ≤ (treewidth + 1) · (log₂ b + 1) - 1`` — this is how Corollary 1
+turns "trees have treewidth 1" into "trees have pathshape O(log n)".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, List, Sequence, Set
+
+from repro.decomposition.path_decomposition import PathDecomposition
+from repro.decomposition.tree_decomposition import TreeDecomposition
+
+__all__ = ["tree_decomposition_to_path"]
+
+
+def tree_decomposition_to_path(td: TreeDecomposition) -> PathDecomposition:
+    """Convert *td* into a path decomposition with ``O(log b)`` width blow-up."""
+    b = td.num_bags
+    if b == 0:
+        raise ValueError("cannot convert an empty tree decomposition")
+    adjacency = td.adjacency()
+    bags = td.bags
+
+    def convert(component: List[int]) -> List[Set[int]]:
+        if len(component) == 1:
+            return [set(bags[component[0]])]
+        centroid = _find_centroid(component, adjacency)
+        pieces = _components_after_removal(component, centroid, adjacency)
+        out: List[Set[int]] = []
+        for piece in pieces:
+            out.extend(convert(piece))
+        if not out:
+            out = [set()]
+        centroid_bag = set(bags[centroid])
+        for bag in out:
+            bag |= centroid_bag
+        return out
+
+    produced = convert(list(range(b)))
+    produced = [bag for bag in produced if bag]
+    if not produced:
+        produced = [set(bags[0])]
+    return PathDecomposition(produced).reduced()
+
+
+def _find_centroid(component: Sequence[int], adjacency: List[List[int]]) -> int:
+    """Bag of the component whose removal leaves pieces of size ≤ |component| / 2."""
+    comp_set = set(component)
+    size = len(component)
+    # Compute subtree sizes with an iterative DFS rooted at component[0].
+    root = component[0]
+    parent = {root: None}
+    order: List[int] = []
+    stack = [root]
+    seen = {root}
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        for v in adjacency[u]:
+            if v in comp_set and v not in seen:
+                seen.add(v)
+                parent[v] = u
+                stack.append(v)
+    subtree = {u: 1 for u in order}
+    for u in reversed(order):
+        p = parent[u]
+        if p is not None:
+            subtree[p] += subtree[u]
+    best = root
+    best_heaviest = size + 1
+    for u in order:
+        heaviest = size - subtree[u]
+        for v in adjacency[u]:
+            if v in comp_set and parent.get(v) == u:
+                heaviest = max(heaviest, subtree[v])
+        if heaviest < best_heaviest:
+            best_heaviest = heaviest
+            best = u
+    return best
+
+
+def _components_after_removal(
+    component: Sequence[int], removed: int, adjacency: List[List[int]]
+) -> List[List[int]]:
+    """Connected pieces of *component* after deleting the bag *removed*."""
+    comp_set = set(component)
+    comp_set.discard(removed)
+    pieces: List[List[int]] = []
+    seen: Set[int] = set()
+    for start in component:
+        if start == removed or start in seen:
+            continue
+        piece = [start]
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if v in comp_set and v not in seen:
+                    seen.add(v)
+                    piece.append(v)
+                    queue.append(v)
+        pieces.append(piece)
+    return pieces

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per claim of the paper (see DESIGN.md §2).
+
+Each experiment module exposes
+
+* ``EXPERIMENT_ID`` / ``TITLE`` / ``PAPER_CLAIM`` constants,
+* ``run(config) -> ExperimentResult`` — the full parameter sweep, and
+* ``main()`` — a CLI entry point printing the text report.
+
+The benchmarks under ``benchmarks/`` call ``run`` with a small
+:class:`~repro.experiments.config.ExperimentConfig` so they finish quickly;
+``python -m repro.experiments.exp_ball_scheme`` (etc.) runs the full-size
+sweep recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import (
+    exp_uniform,
+    exp_name_independent,
+    exp_matrix_label,
+    exp_trees_atfree,
+    exp_label_size,
+    exp_ball_scheme,
+    exp_kleinberg,
+    exp_ball_ablation,
+)
+from repro.experiments.runner import run_all, EXPERIMENT_MODULES
+
+__all__ = [
+    "ExperimentConfig",
+    "exp_uniform",
+    "exp_name_independent",
+    "exp_matrix_label",
+    "exp_trees_atfree",
+    "exp_label_size",
+    "exp_ball_scheme",
+    "exp_kleinberg",
+    "exp_ball_ablation",
+    "run_all",
+    "EXPERIMENT_MODULES",
+]

@@ -1,0 +1,89 @@
+"""Shared building blocks for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.analysis.reporting import SeriesResult
+from repro.core.base import AugmentationScheme
+from repro.experiments.config import ExperimentConfig
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.routing.simulator import RoutingEstimate, estimate_greedy_diameter
+
+__all__ = ["GraphFactory", "SchemeFactory", "measure_scaling", "standard_graph_families"]
+
+GraphFactory = Callable[[int, int], Graph]
+SchemeFactory = Callable[[Graph, int], AugmentationScheme]
+
+
+def standard_graph_families() -> Dict[str, GraphFactory]:
+    """The graph families used as universal-scheme workloads.
+
+    Keys are family names; values map ``(n, seed)`` to a connected graph with
+    approximately ``n`` nodes.
+    """
+
+    def torus(n: int, seed: int) -> Graph:
+        side = max(3, int(round(n ** 0.5)))
+        return generators.torus_graph([side, side])
+
+    return {
+        "ring": lambda n, seed: generators.cycle_graph(n),
+        "path": lambda n, seed: generators.path_graph(n),
+        "torus2d": torus,
+        "random_tree": lambda n, seed: generators.random_tree(n, seed=seed),
+        "lollipop": lambda n, seed: generators.lollipop_graph(max(4, n // 8), n - max(4, n // 8)),
+    }
+
+
+def measure_scaling(
+    family_name: str,
+    graph_factory: GraphFactory,
+    scheme_factory: SchemeFactory,
+    config: ExperimentConfig,
+    *,
+    series_name: Optional[str] = None,
+    quantity: str = "diameter",
+    graph_cache: Optional[Dict[Tuple[str, int], Graph]] = None,
+) -> SeriesResult:
+    """Measure the greedy-diameter scaling of one (family, scheme) combination.
+
+    Parameters
+    ----------
+    family_name:
+        Name used for caching and for the default series name.
+    graph_factory, scheme_factory:
+        Build the graph for a size and the scheme for a graph.
+    config:
+        Sweep parameters.
+    quantity:
+        ``"diameter"`` (max per-pair mean — the greedy diameter) or
+        ``"mean"`` (average over pairs).
+    graph_cache:
+        Optional cache shared between schemes so each graph instance is
+        generated once per experiment.
+    """
+    series = SeriesResult(name=series_name or family_name)
+    for idx, n in enumerate(config.effective_sizes()):
+        seed = config.seed + idx
+        key = (family_name, n)
+        if graph_cache is not None and key in graph_cache:
+            graph = graph_cache[key]
+        else:
+            graph = graph_factory(n, seed)
+            if graph_cache is not None:
+                graph_cache[key] = graph
+        scheme = scheme_factory(graph, seed)
+        estimate: RoutingEstimate = estimate_greedy_diameter(
+            graph,
+            scheme,
+            num_pairs=config.num_pairs,
+            trials=config.trials,
+            seed=seed,
+            pair_strategy=config.pair_strategy,
+        )
+        value = estimate.diameter if quantity == "diameter" else estimate.mean
+        series.add(graph.num_nodes, value)
+        series.metadata[f"long_link_fraction_n{graph.num_nodes}"] = estimate.long_link_fraction
+    return series

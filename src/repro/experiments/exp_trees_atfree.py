@@ -1,0 +1,129 @@
+"""EXP-4 — Corollary 1: trees and AT-free graphs route polylogarithmically under (M, L).
+
+Corollary 1 instantiates Theorem 2 on two families:
+
+* **trees** — treewidth 1, hence pathwidth (and pathshape) ``O(log n)`` via
+  the centroid conversion, giving greedy diameter ``O(log³ n)``;
+* **AT-free graphs** (the paper cites co-comparability, interval and
+  permutation graphs) — constant pathlength, hence pathshape ``O(1)``, giving
+  greedy diameter ``O(log² n)``.
+
+At simulation sizes the *absolute* polylog bounds exceed ``√n`` (``log³ n``
+passes ``√n`` only around ``n ≈ 10⁹``), so — as for EXP-3 — the observable
+signatures are (a) the growth *exponent* of the ancestor-driven scheme on
+large-diameter members of these families is far below the ``≈ 0.5`` of the
+uniform scheme, and (b) the measured diameters stay within a small constant
+of a polylog envelope (``c · log³ n`` resp. ``c · log² n``) across the whole
+sweep, which a ``√n``-growing curve cannot do.
+
+Tree representatives are caterpillars and spiders (diameter ``Θ(n)`` — the
+regime where the claim is falsifiable); the AT-free representative is a
+connected random interval graph whose exact clique-path decomposition (the
+pathshape-1 witness) is handed to the scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.reporting import ExperimentResult, SeriesResult
+from repro.analysis.scaling import fit_polylog
+from repro.core.matrix_label import Theorem2Scheme
+from repro.core.uniform import UniformScheme
+from repro.decomposition.exact import path_decomposition_of_interval_graph
+from repro.experiments.config import ExperimentConfig
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.routing.simulator import estimate_greedy_diameter
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+
+EXPERIMENT_ID = "EXP-4"
+TITLE = "Corollary 1: trees (log^3 n) and AT-free graphs (log^2 n)"
+PAPER_CLAIM = (
+    "The scheme of Theorem 2 yields greedy diameter O(log^3 n) on n-node trees and "
+    "O(log^2 n) on AT-free graphs (Corollary 1)."
+)
+
+
+def _interval_instance(n: int, seed: int) -> Tuple[Graph, object]:
+    """Connected random interval graph plus its exact clique-path decomposition."""
+    graph, intervals = generators.random_interval_graph(n, seed=seed, length_scale=3.0)
+    decomposition = path_decomposition_of_interval_graph(intervals)
+    return graph, decomposition
+
+
+def _tree_instances() -> Dict[str, object]:
+    return {
+        "tree/caterpillar": lambda n, seed: (generators.caterpillar_graph(max(2, n // 2), 1), None),
+        "tree/spider": lambda n, seed: (generators.spider_graph(4, max(1, (n - 1) // 4)), None),
+        "atfree/interval": _interval_instance,
+    }
+
+
+#: polylog degree asserted by the corollary for each family prefix.
+_POLYLOG_DEGREE = {"tree": 3.0, "atfree": 2.0}
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Run the sweep and return the structured result."""
+    config = config or ExperimentConfig.full()
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        parameters={"config": config},
+    )
+    for family_name, instance_factory in _tree_instances().items():
+        ancestor_series = SeriesResult(name=f"ancestor_only/{family_name}")
+        full_series = SeriesResult(name=f"theorem2/{family_name}")
+        uniform_series = SeriesResult(name=f"uniform/{family_name}")
+        for idx, n in enumerate(config.effective_sizes()):
+            seed = config.seed + idx
+            graph, decomposition = instance_factory(n, seed)
+            schemes = [
+                (ancestor_series, Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=seed)),
+                (full_series, Theorem2Scheme(graph, decomposition, seed=seed)),
+                (uniform_series, UniformScheme(graph, seed=seed)),
+            ]
+            for series, scheme in schemes:
+                estimate = estimate_greedy_diameter(
+                    graph,
+                    scheme,
+                    num_pairs=config.num_pairs,
+                    trials=config.trials,
+                    seed=seed,
+                    pair_strategy=config.pair_strategy,
+                )
+                series.add(graph.num_nodes, estimate.diameter)
+        for series in (ancestor_series, full_series, uniform_series):
+            result.add_series(series)
+
+    # Conclusion: exponent gaps + polylog envelope ratios for the ancestor-driven scheme.
+    notes = []
+    for family_name in _tree_instances():
+        prefix = family_name.split("/", 1)[0]
+        degree = _POLYLOG_DEGREE[prefix]
+        anc = result.get_series(f"ancestor_only/{family_name}")
+        uni = result.get_series(f"uniform/{family_name}")
+        anc_fit, uni_fit = anc.power_law(), uni.power_law()
+        polylog = fit_polylog(anc.sizes, anc.values, degree) if anc.sizes else None
+        if anc_fit and uni_fit and polylog:
+            notes.append(
+                f"{family_name}: exponent {anc_fit.exponent:.2f} vs uniform {uni_fit.exponent:.2f}, "
+                f"log^{degree:g} envelope spread {polylog.ratio_spread:.2f}"
+            )
+    result.conclusion = (
+        "; ".join(notes)
+        + " — bounded envelope spreads and sub-sqrt(n) exponents are the finite-size signature of the "
+        "corollary's polylog bounds."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(ExperimentConfig.full()).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,65 @@
+"""EXP-1 — the uniform scheme is universal with greedy diameter O(√n) (Peleg's bound).
+
+The paper recalls (Introduction) that giving every node a uniformly random
+long-range contact makes *every* n-node graph ``O(√n)``-navigable.  The
+experiment sweeps graph families and sizes, estimates the greedy diameter of
+``(G, φ_unif)`` and fits the growth exponent: it should be at most ≈ 0.5
+everywhere, and very close to 0.5 on the 1-dimensional families (ring, path)
+where the bound is tight.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult
+from repro.core.uniform import UniformScheme
+from repro.experiments.common import measure_scaling, standard_graph_families
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+
+EXPERIMENT_ID = "EXP-1"
+TITLE = "Uniform scheme: O(sqrt(n)) universal upper bound"
+PAPER_CLAIM = (
+    "For any n-node graph G, greedy routing in (G, phi_unif) performs in O(sqrt(n)) "
+    "expected steps (Peleg's observation, Section 1)."
+)
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Run the sweep and return the structured result."""
+    config = config or ExperimentConfig.full()
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        parameters={"config": config},
+    )
+    families = standard_graph_families()
+    cache: dict = {}
+    for family_name, factory in families.items():
+        series = measure_scaling(
+            family_name,
+            factory,
+            lambda graph, seed: UniformScheme(graph, seed=seed),
+            config,
+            series_name=f"uniform/{family_name}",
+            graph_cache=cache,
+        )
+        result.add_series(series)
+    exponents = {
+        s.name: s.power_law().exponent for s in result.series if s.power_law() is not None
+    }
+    worst = max(exponents.values()) if exponents else float("nan")
+    result.conclusion = (
+        f"largest fitted exponent {worst:.3f}; the paper's O(sqrt(n)) bound predicts "
+        "exponents <= 0.5 (up to sampling noise), tight on ring/path."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(ExperimentConfig.full()).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,92 @@
+"""Run every experiment and collect the reports (used to regenerate EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import ExperimentResult
+from repro.experiments import (
+    exp_ball_ablation,
+    exp_ball_scheme,
+    exp_kleinberg,
+    exp_label_size,
+    exp_matrix_label,
+    exp_name_independent,
+    exp_trees_atfree,
+    exp_uniform,
+)
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["EXPERIMENT_MODULES", "run_all", "render_markdown"]
+
+#: Experiment modules in DESIGN.md order.
+EXPERIMENT_MODULES = (
+    exp_uniform,
+    exp_name_independent,
+    exp_matrix_label,
+    exp_trees_atfree,
+    exp_label_size,
+    exp_ball_scheme,
+    exp_kleinberg,
+    exp_ball_ablation,
+)
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    only: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Dict[str, ExperimentResult]:
+    """Run all (or the selected) experiments with one shared configuration.
+
+    Parameters
+    ----------
+    config:
+        Shared configuration; defaults to :meth:`ExperimentConfig.full`.
+    only:
+        Optional iterable of experiment ids (``"EXP-1"`` …) to restrict to.
+    verbose:
+        Print each report as it completes.
+    """
+    config = config or ExperimentConfig.full()
+    wanted = {x.upper() for x in only} if only else None
+    results: Dict[str, ExperimentResult] = {}
+    for module in EXPERIMENT_MODULES:
+        exp_id = module.EXPERIMENT_ID
+        if wanted is not None and exp_id.upper() not in wanted:
+            continue
+        result = module.run(config)
+        results[exp_id] = result
+        if verbose:
+            print(result.to_text())
+            print()
+    return results
+
+
+def render_markdown(results: Dict[str, ExperimentResult]) -> str:
+    """Concatenate the Markdown reports of *results* in experiment order."""
+    parts: List[str] = []
+    for module in EXPERIMENT_MODULES:
+        exp_id = module.EXPERIMENT_ID
+        if exp_id in results:
+            parts.append(results[exp_id].to_markdown())
+    return "\n\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run the reproduction experiments")
+    parser.add_argument("--quick", action="store_true", help="use the small benchmark configuration")
+    parser.add_argument("--only", nargs="*", help="experiment ids to run (e.g. EXP-6)")
+    parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    args = parser.parse_args()
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
+    results = run_all(config, only=args.only, verbose=not args.markdown)
+    if args.markdown:
+        print(render_markdown(results))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,43 @@
+"""Graph substrate: immutable CSR graphs, generators and distance machinery.
+
+The paper's framework needs only unweighted, undirected, connected graphs and
+their shortest-path metric (greedy routing compares neighbours by their
+distance to the target *in the underlying graph*).  The substrate therefore
+provides:
+
+* :class:`~repro.graphs.graph.Graph` — an immutable adjacency structure in
+  compressed-sparse-row form backed by numpy arrays,
+* :mod:`~repro.graphs.generators` — every graph family referenced by the paper
+  (paths, cycles, d-dimensional meshes/tori, trees, caterpillars, interval and
+  permutation graphs as AT-free representatives, …) plus standard random
+  models used as controls,
+* :mod:`~repro.graphs.distances` — BFS, truncated BFS, APSP, eccentricities,
+* :mod:`~repro.graphs.balls` — balls ``B(u, r)`` and node ranks used by the
+  Theorem-4 scheme.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.builders import GraphBuilder
+from repro.graphs import generators
+from repro.graphs.distances import (
+    bfs_distances,
+    distance_matrix,
+    eccentricity,
+    diameter,
+)
+from repro.graphs.balls import ball, ball_sizes
+from repro.graphs.components import connected_components, is_connected
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "generators",
+    "bfs_distances",
+    "distance_matrix",
+    "eccentricity",
+    "diameter",
+    "ball",
+    "ball_sizes",
+    "connected_components",
+    "is_connected",
+]

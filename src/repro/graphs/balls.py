@@ -1,0 +1,94 @@
+"""Balls ``B(u, r)`` and related machinery.
+
+The Õ(n^{1/3}) scheme of Theorem 4 is defined directly in terms of balls:
+every node picks ``k`` uniformly in ``{1, …, ⌈log n⌉}`` and a long-range
+contact uniform in ``B(u, 2^k)``.  The proof additionally uses the *rank*
+``r(v)`` of a node (smallest ``k`` with ``v ∈ B_k(u)``), which
+:func:`ball_ranks` exposes so the exact contact distribution can be computed
+and tested against the sampling implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graphs.distances import UNREACHABLE, bfs_distances
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_node_index
+
+__all__ = [
+    "ball",
+    "ball_sizes",
+    "ball_ranks",
+    "growth_function",
+    "nodes_within",
+]
+
+
+def ball(graph: Graph, center: int, radius: int) -> np.ndarray:
+    """Sorted array of nodes at distance at most *radius* from *center*."""
+    center = check_node_index(center, graph.num_nodes, "center")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    dist = bfs_distances(graph, center, cutoff=radius)
+    members = np.nonzero((dist != UNREACHABLE) & (dist <= radius))[0]
+    return members
+
+
+def nodes_within(dist: np.ndarray, radius: int) -> np.ndarray:
+    """Nodes whose precomputed distance is within *radius* (helper for cached BFS)."""
+    return np.nonzero((dist != UNREACHABLE) & (dist <= radius))[0]
+
+
+def ball_sizes(graph: Graph, center: int, radii: List[int]) -> Dict[int, int]:
+    """Sizes of ``B(center, r)`` for each requested radius.
+
+    A single BFS (to the largest radius) serves every query.
+    """
+    center = check_node_index(center, graph.num_nodes, "center")
+    if not radii:
+        return {}
+    max_radius = max(radii)
+    if max_radius < 0:
+        raise ValueError("radii must be non-negative")
+    dist = bfs_distances(graph, center, cutoff=max_radius)
+    reachable = dist[dist != UNREACHABLE]
+    return {int(r): int(np.count_nonzero(reachable <= r)) for r in radii}
+
+
+def ball_ranks(graph: Graph, center: int, *, num_levels: int) -> np.ndarray:
+    """Rank ``r(v)`` of every node with respect to *center* (Theorem 4).
+
+    ``r(v)`` is the smallest ``k ≥ 1`` such that ``v ∈ B(center, 2^k)``, i.e.
+    ``r(v) = max(1, ⌈log2 dist(center, v)⌉)``; nodes farther than
+    ``2^num_levels`` (or unreachable) get rank ``num_levels + 1`` meaning they
+    can never be chosen as a contact of *center*.
+    """
+    center = check_node_index(center, graph.num_nodes, "center")
+    if num_levels < 1:
+        raise ValueError("num_levels must be at least 1")
+    dist = bfs_distances(graph, center)
+    ranks = np.full(graph.num_nodes, num_levels + 1, dtype=np.int64)
+    for v in range(graph.num_nodes):
+        d = dist[v]
+        if d == UNREACHABLE:
+            continue
+        if d <= 2:
+            ranks[v] = 1
+        else:
+            ranks[v] = int(np.ceil(np.log2(d)))
+        if ranks[v] > num_levels:
+            ranks[v] = num_levels + 1
+    return ranks
+
+
+def growth_function(graph: Graph, center: int) -> np.ndarray:
+    """Array ``g`` with ``g[r] = |B(center, r)|`` for ``r = 0 … ecc(center)``."""
+    center = check_node_index(center, graph.num_nodes, "center")
+    dist = bfs_distances(graph, center)
+    finite = dist[dist != UNREACHABLE]
+    ecc = int(finite.max()) if finite.size else 0
+    counts = np.bincount(finite, minlength=ecc + 1)
+    return np.cumsum(counts)

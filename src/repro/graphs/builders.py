@@ -1,0 +1,119 @@
+"""Incremental graph construction.
+
+:class:`GraphBuilder` collects edges (silently ignoring duplicates, which is
+convenient for generators) and produces an immutable
+:class:`~repro.graphs.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_node_index, check_positive_int
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable edge collector producing an immutable :class:`Graph`.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are ``0 .. num_nodes - 1``.
+    name:
+        Name given to the built graph.
+
+    Examples
+    --------
+    >>> b = GraphBuilder(3, name="triangle")
+    >>> b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2)
+    GraphBuilder(n=3, m=3)
+    >>> g = b.build()
+    >>> g.num_edges
+    3
+    """
+
+    def __init__(self, num_nodes: int, *, name: str = "graph") -> None:
+        self._n = check_positive_int(num_nodes, "num_nodes", minimum=0)
+        self._name = name
+        self._edges: Set[Tuple[int, int]] = set()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the built graph will have."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct edges added so far."""
+        return len(self._edges)
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Add the undirected edge ``{u, v}``.
+
+        Self-loops raise ``ValueError``; duplicate edges are ignored.
+        """
+        u = check_node_index(int(u), self._n, "u")
+        v = check_node_index(int(v), self._n, "v")
+        if u == v:
+            raise ValueError(f"self-loop at node {u} is not allowed")
+        self._edges.add((u, v) if u < v else (v, u))
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> "GraphBuilder":
+        """Add every edge in *edges*."""
+        for u, v in edges:
+            self.add_edge(u, v)
+        return self
+
+    def add_path(self, nodes: Iterable[int]) -> "GraphBuilder":
+        """Add edges forming a path through *nodes* in order."""
+        nodes = list(nodes)
+        for a, b in zip(nodes, nodes[1:]):
+            self.add_edge(a, b)
+        return self
+
+    def add_cycle(self, nodes: Iterable[int]) -> "GraphBuilder":
+        """Add edges forming a cycle through *nodes* in order."""
+        nodes = list(nodes)
+        if len(nodes) < 3:
+            raise ValueError("a cycle needs at least 3 nodes")
+        self.add_path(nodes)
+        self.add_edge(nodes[-1], nodes[0])
+        return self
+
+    def add_clique(self, nodes: Iterable[int]) -> "GraphBuilder":
+        """Add all edges between the given *nodes*."""
+        nodes = list(nodes)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                self.add_edge(u, v)
+        return self
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` has already been added."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edges
+
+    def build(self) -> Graph:
+        """Produce the immutable graph."""
+        if not self._edges:
+            return Graph.empty(self._n, name=self._name)
+        us_list: List[int] = []
+        vs_list: List[int] = []
+        for u, v in self._edges:
+            us_list.append(u)
+            vs_list.append(v)
+        return Graph._from_edge_arrays(
+            self._n,
+            np.array(us_list, dtype=np.int64),
+            np.array(vs_list, dtype=np.int64),
+            name=self._name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphBuilder(n={self._n}, m={len(self._edges)})"

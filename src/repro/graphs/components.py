@@ -1,0 +1,57 @@
+"""Connectivity helpers.
+
+Greedy routing (and the greedy diameter) is only defined on connected graphs,
+so generators and experiments use :func:`is_connected` as a guard, and the
+decomposition code uses :func:`connected_components` when splitting problems.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["connected_components", "is_connected", "largest_component"]
+
+
+def connected_components(graph: Graph) -> List[np.ndarray]:
+    """List of components, each a sorted array of node indices."""
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    label = np.full(n, -1, dtype=np.int64)
+    components: List[np.ndarray] = []
+    for start in range(n):
+        if label[start] != -1:
+            continue
+        comp_id = len(components)
+        label[start] = comp_id
+        members = [start]
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in indices[indptr[u]: indptr[u + 1]]:
+                if label[v] == -1:
+                    label[v] = comp_id
+                    members.append(int(v))
+                    queue.append(int(v))
+        components.append(np.array(sorted(members), dtype=np.int64))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (single-node and empty graphs count as connected)."""
+    if graph.num_nodes <= 1:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph: Graph) -> np.ndarray:
+    """Node set of the largest connected component."""
+    comps = connected_components(graph)
+    if not comps:
+        return np.zeros(0, dtype=np.int64)
+    return max(comps, key=len)

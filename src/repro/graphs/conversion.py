@@ -1,0 +1,51 @@
+"""Optional networkx interoperability.
+
+The library itself never depends on networkx, but the tests use it as an
+oracle for distances, diameters and tree-decomposition validity, and users may
+want to feed existing networkx graphs into the augmentation schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: Graph):
+    """Convert to a :class:`networkx.Graph` (requires networkx installed)."""
+    import networkx as nx
+
+    g = nx.Graph(name=graph.name)
+    g.add_nodes_from(range(graph.num_nodes))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph, *, name: str | None = None) -> Tuple[Graph, dict]:
+    """Convert a networkx graph to a :class:`Graph`.
+
+    Nodes are relabelled to ``0 .. n-1`` in sorted order (when sortable) or in
+    iteration order otherwise.  Returns ``(graph, mapping)`` where ``mapping``
+    sends original node names to new indices.
+    """
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    mapping = {node: i for i, node in enumerate(nodes)}
+    edges = []
+    for u, v in nx_graph.edges():
+        if u == v:
+            continue
+        edges.append((mapping[u], mapping[v]))
+    graph_name = name if name is not None else str(getattr(nx_graph, "name", "") or "from_networkx")
+    # Deduplicate (multigraphs collapse to simple graphs).
+    dedup = sorted({(min(a, b), max(a, b)) for a, b in edges})
+    graph = Graph.from_edges(len(nodes), dedup, name=graph_name)
+    return graph, mapping

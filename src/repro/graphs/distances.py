@@ -1,0 +1,176 @@
+"""Shortest-path distances (BFS) for unweighted graphs.
+
+Greedy routing only ever needs the distance *to a fixed target*, so the basic
+primitive is a single-source BFS returning a distance array; everything else
+(APSP matrices, eccentricities, diameters) is layered on top of it.
+
+Distances are returned as ``int64`` arrays with ``UNREACHABLE`` (-1) marking
+nodes outside the source's connected component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_node_index
+
+__all__ = [
+    "UNREACHABLE",
+    "bfs_distances",
+    "bfs_tree",
+    "multi_source_bfs",
+    "distance_matrix",
+    "eccentricity",
+    "diameter",
+    "farthest_node",
+    "double_sweep_diameter_lower_bound",
+]
+
+UNREACHABLE: int = -1
+
+
+def bfs_distances(graph: Graph, source: int, *, cutoff: Optional[int] = None) -> np.ndarray:
+    """Distances from *source* to every node (``UNREACHABLE`` if disconnected).
+
+    Parameters
+    ----------
+    graph:
+        The graph to search.
+    source:
+        Start node.
+    cutoff:
+        Optional radius; nodes strictly beyond it keep ``UNREACHABLE``.
+        A truncated BFS costs only ``O(|B(source, cutoff)|)`` edge scans,
+        which the Theorem-4 ball scheme relies on.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    indptr = graph.indptr
+    indices = graph.indices
+    dist = np.full(graph.num_nodes, UNREACHABLE, dtype=np.int64)
+    dist[source] = 0
+    if cutoff is not None and cutoff < 0:
+        raise ValueError("cutoff must be non-negative")
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if cutoff is not None and du >= cutoff:
+            continue
+        for v in indices[indptr[u]: indptr[u + 1]]:
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                queue.append(int(v))
+    return dist
+
+
+def bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS distances and parent pointers from *source*.
+
+    Returns ``(dist, parent)`` where ``parent[source] == source`` and
+    ``parent[v] == -1`` for unreachable nodes.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    indptr = graph.indptr
+    indices = graph.indices
+    dist = np.full(graph.num_nodes, UNREACHABLE, dtype=np.int64)
+    parent = np.full(graph.num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    parent[source] = source
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in indices[indptr[u]: indptr[u + 1]]:
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                parent[v] = u
+                queue.append(int(v))
+    return dist, parent
+
+
+def multi_source_bfs(graph: Graph, sources: Iterable[int]) -> np.ndarray:
+    """Distance from each node to the *nearest* of the given sources."""
+    indptr = graph.indptr
+    indices = graph.indices
+    dist = np.full(graph.num_nodes, UNREACHABLE, dtype=np.int64)
+    queue: deque = deque()
+    for s in sources:
+        s = check_node_index(int(s), graph.num_nodes, "source")
+        if dist[s] == UNREACHABLE:
+            dist[s] = 0
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in indices[indptr[u]: indptr[u + 1]]:
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                queue.append(int(v))
+    return dist
+
+
+def distance_matrix(graph: Graph) -> np.ndarray:
+    """All-pairs shortest-path matrix, ``shape (n, n)``.
+
+    Runs one BFS per node; intended for the moderate sizes used by the
+    decomposition code and the tests (``n`` up to a few thousand).
+    """
+    n = graph.num_nodes
+    out = np.full((n, n), UNREACHABLE, dtype=np.int64)
+    for u in range(n):
+        out[u] = bfs_distances(graph, u)
+    return out
+
+
+def eccentricity(graph: Graph, node: int) -> int:
+    """Eccentricity of *node* (max distance to any reachable node).
+
+    Raises ``ValueError`` if the graph is disconnected from *node*.
+    """
+    dist = bfs_distances(graph, node)
+    if np.any(dist == UNREACHABLE):
+        raise ValueError("graph is not connected; eccentricity undefined")
+    return int(dist.max())
+
+
+def farthest_node(graph: Graph, node: int) -> Tuple[int, int]:
+    """Return ``(v, d)`` where *v* is a node at maximum distance *d* from *node*."""
+    dist = bfs_distances(graph, node)
+    reachable = np.where(dist >= 0, dist, -1)
+    v = int(np.argmax(reachable))
+    return v, int(reachable[v])
+
+
+def double_sweep_diameter_lower_bound(graph: Graph, start: int = 0) -> Tuple[int, int, int]:
+    """Classic double-sweep heuristic: BFS from *start*, then from the farthest node.
+
+    Returns ``(u, v, d)`` — a pair of nodes at distance *d*, a lower bound on
+    the diameter that is exact on trees.  Used by the pair samplers to find
+    "hard" source/target pairs without computing full APSP.
+    """
+    a, _ = farthest_node(graph, start)
+    b, d = farthest_node(graph, a)
+    return a, b, d
+
+
+def diameter(graph: Graph, *, exact: bool = True) -> int:
+    """Graph diameter.
+
+    With ``exact=True`` (default) runs a BFS from every node (O(nm));
+    otherwise returns the double-sweep lower bound.
+    """
+    if graph.num_nodes == 0:
+        return 0
+    if not exact:
+        return double_sweep_diameter_lower_bound(graph)[2]
+    best = 0
+    for u in range(graph.num_nodes):
+        dist = bfs_distances(graph, u)
+        if np.any(dist == UNREACHABLE):
+            raise ValueError("graph is not connected; diameter undefined")
+        best = max(best, int(dist.max()))
+    return best

@@ -1,0 +1,505 @@
+"""Graph generators for every family referenced by the paper.
+
+The paper's statements are universal ("for any n-node graph G"), but its
+proofs and corollaries single out specific families:
+
+* **paths** — the hard instance of Theorems 1 and 3 and the canonical
+  Ω(√n) example for name-independent schemes,
+* **trees** — Corollary 1 gives O(log³ n) with the (M, L) scheme,
+* **AT-free graphs** (interval, permutation, co-comparability graphs) —
+  Corollary 1 gives O(log² n); interval and permutation graphs are generated
+  here as concrete AT-free representatives,
+* **d-dimensional meshes/tori** — the classic Kleinberg substrate, used as a
+  control whose pathshape is large (Θ(√n) for the 2-D torus),
+* assorted random models (Erdős–Rényi, Watts–Strogatz, lollipops, …) used as
+  additional universal-scheme workloads.
+
+All generators return connected :class:`~repro.graphs.graph.Graph` instances
+with nodes ``0 .. n-1`` and carry a descriptive ``name``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "balanced_tree",
+    "binary_tree",
+    "random_tree",
+    "caterpillar_graph",
+    "spider_graph",
+    "lollipop_graph",
+    "barbell_graph",
+    "random_interval_graph",
+    "interval_graph",
+    "random_permutation_graph",
+    "permutation_graph",
+    "erdos_renyi_graph",
+    "watts_strogatz_graph",
+    "random_regular_graph",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic families
+# --------------------------------------------------------------------------- #
+
+def path_graph(n: int) -> Graph:
+    """The path ``0 - 1 - ... - n-1`` (pathshape 1)."""
+    n = check_positive_int(n, "n")
+    builder = GraphBuilder(n, name=f"path({n})")
+    builder.add_path(range(n))
+    return builder.build()
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on *n* ≥ 3 nodes."""
+    n = check_positive_int(n, "n", minimum=3)
+    builder = GraphBuilder(n, name=f"cycle({n})")
+    builder.add_cycle(range(n))
+    return builder.build()
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph K_n."""
+    n = check_positive_int(n, "n")
+    builder = GraphBuilder(n, name=f"complete({n})")
+    builder.add_clique(range(n))
+    return builder.build()
+
+
+def star_graph(n: int) -> Graph:
+    """The star with centre 0 and ``n - 1`` leaves."""
+    n = check_positive_int(n, "n", minimum=2)
+    builder = GraphBuilder(n, name=f"star({n})")
+    for leaf in range(1, n):
+        builder.add_edge(0, leaf)
+    return builder.build()
+
+
+def grid_graph(dims: Sequence[int]) -> Graph:
+    """d-dimensional mesh with side lengths *dims* (open boundaries)."""
+    return _lattice(dims, torus=False)
+
+
+def torus_graph(dims: Sequence[int]) -> Graph:
+    """d-dimensional torus (wrap-around mesh) with side lengths *dims*."""
+    return _lattice(dims, torus=True)
+
+
+def _lattice(dims: Sequence[int], *, torus: bool) -> Graph:
+    dims = [check_positive_int(d, "dimension") for d in dims]
+    if not dims:
+        raise ValueError("dims must be non-empty")
+    n = int(np.prod(dims))
+    strides = np.ones(len(dims), dtype=np.int64)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * dims[i + 1]
+
+    def index(coords: Tuple[int, ...]) -> int:
+        return int(np.dot(coords, strides))
+
+    kind = "torus" if torus else "grid"
+    builder = GraphBuilder(n, name=f"{kind}({'x'.join(map(str, dims))})")
+    for coords in itertools.product(*[range(d) for d in dims]):
+        u = index(coords)
+        for axis, d in enumerate(dims):
+            c = coords[axis]
+            if c + 1 < d:
+                nxt = list(coords)
+                nxt[axis] = c + 1
+                builder.add_edge(u, index(tuple(nxt)))
+            elif torus and d > 2:
+                nxt = list(coords)
+                nxt[axis] = 0
+                builder.add_edge(u, index(tuple(nxt)))
+    return builder.build()
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The *dimension*-dimensional hypercube on 2^dimension nodes."""
+    dimension = check_positive_int(dimension, "dimension")
+    n = 1 << dimension
+    builder = GraphBuilder(n, name=f"hypercube({dimension})")
+    for u in range(n):
+        for bit in range(dimension):
+            v = u ^ (1 << bit)
+            if u < v:
+                builder.add_edge(u, v)
+    return builder.build()
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete *branching*-ary tree of the given *height* (root = node 0)."""
+    branching = check_positive_int(branching, "branching")
+    height = check_positive_int(height, "height", minimum=0)
+    nodes = [0]
+    edges: List[Tuple[int, int]] = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_id))
+                nodes.append(next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Graph.from_edges(next_id, edges, name=f"balanced_tree(b={branching},h={height})")
+
+
+def binary_tree(n: int) -> Graph:
+    """Complete binary tree on exactly *n* nodes (heap ordering)."""
+    n = check_positive_int(n, "n")
+    edges = [((child - 1) // 2, child) for child in range(1, n)]
+    return Graph.from_edges(n, edges, name=f"binary_tree({n})")
+
+
+def random_tree(n: int, seed: RngLike = None) -> Graph:
+    """Uniformly random labelled tree on *n* nodes (random Prüfer sequence)."""
+    n = check_positive_int(n, "n")
+    if n == 1:
+        return Graph.empty(1, name="random_tree(1)")
+    if n == 2:
+        return Graph.from_edges(2, [(0, 1)], name="random_tree(2)")
+    rng = ensure_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in prufer:
+        degree[x] += 1
+    edges: List[Tuple[int, int]] = []
+    # Classic Prüfer decoding with a pointer over the smallest leaf.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph.from_edges(n, edges, name=f"random_tree({n})")
+
+
+def caterpillar_graph(spine: int, legs_per_node: int = 1) -> Graph:
+    """Caterpillar: a spine path with *legs_per_node* pendant leaves per spine node.
+
+    Caterpillars have pathwidth 1 (hence pathshape 1) and are a natural
+    small-pathshape family beyond plain paths.
+    """
+    spine = check_positive_int(spine, "spine")
+    legs_per_node = check_positive_int(legs_per_node, "legs_per_node", minimum=0)
+    n = spine + spine * legs_per_node
+    builder = GraphBuilder(n, name=f"caterpillar(spine={spine},legs={legs_per_node})")
+    builder.add_path(range(spine))
+    next_id = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            builder.add_edge(s, next_id)
+            next_id += 1
+    return builder.build()
+
+
+def spider_graph(legs: int, leg_length: int) -> Graph:
+    """Spider (generalised star): *legs* paths of length *leg_length* glued at a centre."""
+    legs = check_positive_int(legs, "legs")
+    leg_length = check_positive_int(leg_length, "leg_length")
+    n = 1 + legs * leg_length
+    builder = GraphBuilder(n, name=f"spider(legs={legs},len={leg_length})")
+    next_id = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            builder.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+    return builder.build()
+
+
+def lollipop_graph(clique_size: int, tail_length: int) -> Graph:
+    """A clique of *clique_size* nodes attached to a path of *tail_length* nodes.
+
+    A useful control: the tail forces long greedy routes while the clique has
+    tiny diameter, so the behaviour is dominated by the path-like part.
+    """
+    clique_size = check_positive_int(clique_size, "clique_size", minimum=2)
+    tail_length = check_positive_int(tail_length, "tail_length", minimum=1)
+    n = clique_size + tail_length
+    builder = GraphBuilder(n, name=f"lollipop(k={clique_size},tail={tail_length})")
+    builder.add_clique(range(clique_size))
+    builder.add_edge(clique_size - 1, clique_size)
+    builder.add_path(range(clique_size, n))
+    return builder.build()
+
+
+def barbell_graph(clique_size: int, bridge_length: int) -> Graph:
+    """Two cliques of *clique_size* nodes joined by a path of *bridge_length* nodes."""
+    clique_size = check_positive_int(clique_size, "clique_size", minimum=2)
+    bridge_length = check_positive_int(bridge_length, "bridge_length", minimum=0)
+    n = 2 * clique_size + bridge_length
+    builder = GraphBuilder(n, name=f"barbell(k={clique_size},bridge={bridge_length})")
+    builder.add_clique(range(clique_size))
+    builder.add_clique(range(clique_size + bridge_length, n))
+    chain = list(range(clique_size - 1, clique_size + bridge_length + 1))
+    builder.add_path(chain)
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
+# Intersection-model families (AT-free representatives)
+# --------------------------------------------------------------------------- #
+
+def interval_graph(intervals: Sequence[Tuple[float, float]], *, name: Optional[str] = None) -> Graph:
+    """Intersection graph of the given closed *intervals*.
+
+    Interval graphs are AT-free and have pathlength at most 2 by sweeping the
+    line, which makes them the paper's canonical small-pathshape class.
+    """
+    n = len(intervals)
+    builder = GraphBuilder(n, name=name or f"interval_graph({n})")
+    ivs = [(float(a), float(b)) for (a, b) in intervals]
+    for (a1, b1) in ivs:
+        if b1 < a1:
+            raise ValueError("interval endpoints must satisfy left <= right")
+    # Sweep over intervals sorted by left endpoint: i and j (with a_i <= a_j)
+    # intersect exactly when a_j <= b_i, so the inner scan can stop at the
+    # first non-overlapping interval.
+    order = sorted(range(n), key=lambda idx: ivs[idx])
+    for pos, i in enumerate(order):
+        a1, b1 = ivs[i]
+        for j in order[pos + 1:]:
+            a2, _b2 = ivs[j]
+            if a2 > b1:
+                break
+            builder.add_edge(i, j)
+    return builder.build()
+
+
+def random_interval_graph(
+    n: int,
+    seed: RngLike = None,
+    *,
+    length_scale: float = 3.0,
+    connect: bool = True,
+) -> Tuple[Graph, List[Tuple[float, float]]]:
+    """Random interval graph on *n* intervals with expected length *length_scale*.
+
+    Interval left endpoints are uniform on ``[0, n)`` and lengths exponential
+    with mean *length_scale*; when *connect* is true, extra bridging intervals
+    are stretched so the result is connected.
+
+    Returns the graph together with the interval model (needed by the exact
+    path-decomposition construction).
+    """
+    n = check_positive_int(n, "n")
+    rng = ensure_rng(seed)
+    starts = np.sort(rng.uniform(0.0, float(n), size=n))
+    lengths = rng.exponential(length_scale, size=n)
+    intervals = [(float(s), float(s + l)) for s, l in zip(starts, lengths)]
+    if connect:
+        # Sweep left to right; whenever a gap appears, stretch the previous
+        # interval so it reaches the next start.  This keeps the model an
+        # interval model while guaranteeing connectivity.
+        intervals.sort()
+        reach = intervals[0][1]
+        fixed = [intervals[0]]
+        for (a, b) in intervals[1:]:
+            if a > reach:
+                prev_a, _ = fixed[-1]
+                fixed[-1] = (prev_a, a)
+                reach = a
+            fixed.append((a, b))
+            reach = max(reach, b)
+        intervals = fixed
+    graph = interval_graph(intervals, name=f"random_interval({n})")
+    return graph, intervals
+
+
+def permutation_graph(permutation: Sequence[int], *, name: Optional[str] = None) -> Graph:
+    """Permutation graph of *permutation*.
+
+    Nodes ``i < j`` are adjacent whenever the permutation inverts them, i.e.
+    ``permutation[i] > permutation[j]``.  Permutation graphs are AT-free.
+    """
+    perm = np.asarray(list(int(p) for p in permutation), dtype=np.int64)
+    n = perm.size
+    if not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValueError("permutation must be a permutation of 0..n-1")
+    edges: List[Tuple[int, int]] = []
+    for i in range(n - 1):
+        # Vectorised inversion scan: all j > i with perm[j] < perm[i].
+        hits = np.nonzero(perm[i + 1:] < perm[i])[0]
+        for offset in hits:
+            edges.append((i, i + 1 + int(offset)))
+    graph_name = name or f"permutation_graph({n})"
+    if not edges:
+        return Graph.empty(n, name=graph_name)
+    return Graph.from_edges(n, edges, name=graph_name)
+
+
+def random_permutation_graph(
+    n: int,
+    seed: RngLike = None,
+    *,
+    displacement: int = 8,
+) -> Tuple[Graph, List[int]]:
+    """Random connected permutation graph on *n* nodes.
+
+    A fully uniform random permutation yields a dense graph of tiny diameter,
+    which is uninteresting for routing.  Instead the permutation is obtained
+    from the identity by random local swaps within windows of size
+    *displacement*, giving a sparse, large-diameter permutation graph closer
+    to the "path-like" AT-free graphs Corollary 1 targets.  Adjacent
+    transpositions are inserted at non-crossed cuts so the result is
+    connected.
+    """
+    n = check_positive_int(n, "n")
+    displacement = check_positive_int(displacement, "displacement", minimum=1)
+    rng = ensure_rng(seed)
+    perm = list(range(n))
+    for i in range(n - 1):
+        j = min(n - 1, i + int(rng.integers(1, displacement + 1)))
+        perm[i], perm[j] = perm[j], perm[i]
+    # Connectivity: the permutation graph is disconnected at cut i when
+    # max(perm[0..i]) < min(perm[i+1..n-1]) (no inversion crosses the cut).
+    # Swapping positions i, i+1 creates the crossing inversion (i, i+1).
+    # Suffix minima of the original permutation stay valid because a swap at
+    # cut i only touches positions i and i+1, which never belong to the
+    # suffix of any later cut.
+    suffix_min = [0] * n
+    running = n
+    for i in range(n - 1, -1, -1):
+        running = min(running, perm[i])
+        suffix_min[i] = running
+    prefix_max = -1
+    for i in range(n - 1):
+        prefix_max = max(prefix_max, perm[i])
+        if prefix_max < suffix_min[i + 1]:
+            perm[i], perm[i + 1] = perm[i + 1], perm[i]
+            prefix_max = max(prefix_max, perm[i])
+    graph = permutation_graph(perm, name=f"random_permutation({n})")
+    return graph, perm
+
+
+# --------------------------------------------------------------------------- #
+# Random models
+# --------------------------------------------------------------------------- #
+
+def erdos_renyi_graph(n: int, p: float, seed: RngLike = None, *, connect: bool = True) -> Graph:
+    """Erdős–Rényi G(n, p); optionally patched into a connected graph.
+
+    When *connect* is true, a uniformly random spanning-tree-like chain over a
+    random node permutation is added so the sample is connected (standard
+    practice for routing experiments, which require connectivity).
+    """
+    n = check_positive_int(n, "n")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    builder = GraphBuilder(n, name=f"erdos_renyi({n},p={p:g})")
+    if n >= 2 and p > 0:
+        # Vectorised sampling of the upper triangle in blocks.
+        for u in range(n - 1):
+            mask = rng.random(n - u - 1) < p
+            for offset in np.nonzero(mask)[0]:
+                builder.add_edge(u, u + 1 + int(offset))
+    if connect and n >= 2:
+        order = rng.permutation(n)
+        for a, b in zip(order, order[1:]):
+            if not builder.has_edge(int(a), int(b)):
+                builder.add_edge(int(a), int(b))
+    return builder.build()
+
+
+def watts_strogatz_graph(n: int, k: int, beta: float, seed: RngLike = None) -> Graph:
+    """Watts–Strogatz small-world ring lattice with rewiring probability *beta*.
+
+    Each node is joined to its *k* nearest ring neighbours (*k* even); each
+    "forward" edge is rewired to a random target with probability *beta*.
+    Rewirings that would create duplicates or self-loops are skipped, which
+    keeps the graph simple and connected for the parameter ranges used in the
+    experiments.
+    """
+    n = check_positive_int(n, "n", minimum=4)
+    k = check_positive_int(k, "k", minimum=2)
+    if k % 2 != 0:
+        raise ValueError("k must be even")
+    if k >= n:
+        raise ValueError("k must be smaller than n")
+    if not (0.0 <= beta <= 1.0):
+        raise ValueError("beta must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    builder = GraphBuilder(n, name=f"watts_strogatz({n},k={k},beta={beta:g})")
+    half = k // 2
+    for u in range(n):
+        for d in range(1, half + 1):
+            v = (u + d) % n
+            if d == 1 or rng.random() >= beta:
+                if not builder.has_edge(u, v):
+                    builder.add_edge(u, v)
+            else:
+                w = int(rng.integers(0, n))
+                attempts = 0
+                while (w == u or builder.has_edge(u, w)) and attempts < 16:
+                    w = int(rng.integers(0, n))
+                    attempts += 1
+                if w != u and not builder.has_edge(u, w):
+                    builder.add_edge(u, w)
+                elif not builder.has_edge(u, v):
+                    builder.add_edge(u, v)
+    return builder.build()
+
+
+def random_regular_graph(n: int, degree: int, seed: RngLike = None, *, max_retries: int = 64) -> Graph:
+    """Random *degree*-regular graph via the configuration model with retries.
+
+    Pairings producing self-loops or duplicate edges are rejected and the
+    whole pairing resampled (adequate for the moderate degrees used in the
+    experiments).
+    """
+    n = check_positive_int(n, "n", minimum=2)
+    degree = check_positive_int(degree, "degree")
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    rng = ensure_rng(seed)
+    for _ in range(max_retries):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        seen = set()
+        ok = True
+        for a, b in pairs:
+            a, b = int(a), int(b)
+            if a == b:
+                ok = False
+                break
+            key = (a, b) if a < b else (b, a)
+            if key in seen:
+                ok = False
+                break
+            seen.add(key)
+        if ok:
+            return Graph.from_edges(n, sorted(seen), name=f"random_regular({n},d={degree})")
+    raise RuntimeError("failed to sample a simple regular graph; try a different seed or degree")

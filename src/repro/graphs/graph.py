@@ -1,0 +1,280 @@
+"""Immutable undirected graph in compressed-sparse-row (CSR) form.
+
+The class is deliberately minimal: greedy routing and the augmentation schemes
+only need fast neighbourhood iteration and node counts.  All heavier machinery
+(distances, balls, decompositions) lives in sibling modules that operate on
+these graphs.
+
+Design notes
+------------
+* Nodes are the integers ``0 .. n-1``.  The paper labels nodes ``1 .. n``; the
+  translation (label = index + 1) is handled inside :mod:`repro.core.levels`
+  and the matrix schemes, never here.
+* The adjacency is stored as two numpy arrays, ``indptr`` (length ``n + 1``)
+  and ``indices`` (length ``2m``), exactly like ``scipy.sparse.csr_matrix``.
+  Neighbour lists are sorted, self-loops and parallel edges are rejected.
+* Instances are immutable and hashable by identity; use
+  :class:`repro.graphs.builders.GraphBuilder` or :meth:`Graph.from_edges` to
+  construct them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_node_index, check_positive_int
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable, simple, undirected graph on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    indptr, indices:
+        CSR adjacency arrays.  ``indices[indptr[u]:indptr[u+1]]`` lists the
+        neighbours of ``u`` in increasing order.
+    name:
+        Optional human-readable description (used in experiment reports).
+    validate:
+        When true (default) the CSR structure is checked for symmetry,
+        sortedness and absence of self-loops.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_name", "_num_edges")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        name: str = "graph",
+        validate: bool = True,
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional arrays")
+        if indptr.size == 0 or indptr[0] != 0:
+            raise ValueError("indptr must start with 0 and be non-empty")
+        if indptr[-1] != indices.size:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        self._indptr = indptr
+        self._indices = indices
+        self._name = str(name)
+        self._num_edges = int(indices.size // 2)
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build a graph from an edge list.
+
+        Duplicate edges (in either orientation) and self-loops raise
+        ``ValueError``.
+        """
+        n = check_positive_int(num_nodes, "num_nodes", minimum=0)
+        seen = set()
+        us: List[int] = []
+        vs: List[int] = []
+        for (u, v) in edges:
+            u = check_node_index(int(u), n, "edge endpoint")
+            v = check_node_index(int(v), n, "edge endpoint")
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge {key}")
+            seen.add(key)
+            us.append(u)
+            vs.append(v)
+        return cls._from_edge_arrays(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), name=name)
+
+    @classmethod
+    def _from_edge_arrays(
+        cls, num_nodes: int, us: np.ndarray, vs: np.ndarray, *, name: str = "graph"
+    ) -> "Graph":
+        """Internal fast path: build CSR from validated, deduplicated endpoints."""
+        heads = np.concatenate([us, vs])
+        tails = np.concatenate([vs, us])
+        order = np.lexsort((tails, heads))
+        heads = heads[order]
+        tails = tails[order]
+        counts = np.bincount(heads, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, tails, name=name, validate=False)
+
+    @classmethod
+    def empty(cls, num_nodes: int, *, name: str = "empty") -> "Graph":
+        """Graph with *num_nodes* isolated nodes and no edges."""
+        n = check_positive_int(num_nodes, "num_nodes", minimum=0)
+        return cls(np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), name=name, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return int(self._indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    @property
+    def name(self) -> str:
+        """Human-readable description of the graph instance."""
+        return self._name
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (read-only view)."""
+        view = self._indptr.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array (read-only view)."""
+        view = self._indices.view()
+        view.setflags(write=False)
+        return view
+
+    def nodes(self) -> range:
+        """Iterate over node indices ``0 .. n-1``."""
+        return range(self.num_nodes)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted array of neighbours of *u* (read-only view)."""
+        u = check_node_index(u, self.num_nodes)
+        view = self._indices[self._indptr[u]: self._indptr[u + 1]]
+        view.setflags(write=False)
+        return view
+
+    def degree(self, u: int) -> int:
+        """Degree of node *u*."""
+        u = check_node_index(u, self.num_nodes)
+        return int(self._indptr[u + 1] - self._indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees."""
+        return np.diff(self._indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        u = check_node_index(u, self.num_nodes)
+        v = check_node_index(v, self.num_nodes)
+        nbrs = self._indices[self._indptr[u]: self._indptr[u + 1]]
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` pairs with ``u < v``."""
+        for u in range(self.num_nodes):
+            for v in self._indices[self._indptr[u]: self._indptr[u + 1]]:
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """Edge list with ``u < v``, sorted lexicographically."""
+        return list(self.edges())
+
+    def adjacency_sets(self) -> List[set]:
+        """List of neighbour sets (useful for decomposition algorithms)."""
+        return [set(map(int, self.neighbors(u))) for u in range(self.num_nodes)]
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def subgraph(self, nodes: Sequence[int], *, name: str | None = None) -> Tuple["Graph", np.ndarray]:
+        """Induced subgraph on *nodes*.
+
+        Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the original
+        index of the subgraph node ``i``.
+        """
+        nodes = np.asarray(sorted(set(int(v) for v in nodes)), dtype=np.int64)
+        for v in nodes:
+            check_node_index(int(v), self.num_nodes)
+        position = -np.ones(self.num_nodes, dtype=np.int64)
+        position[nodes] = np.arange(nodes.size)
+        edges = []
+        for new_u, u in enumerate(nodes):
+            for v in self.neighbors(int(u)):
+                if u < v and position[v] >= 0:
+                    edges.append((new_u, int(position[v])))
+        sub_name = name if name is not None else f"{self._name}[subgraph:{nodes.size}]"
+        return Graph.from_edges(nodes.size, edges, name=sub_name), nodes
+
+    def relabel(self, permutation: Sequence[int], *, name: str | None = None) -> "Graph":
+        """Return the graph with node *i* renamed to ``permutation[i]``.
+
+        *permutation* must be a permutation of ``0 .. n-1``.
+        """
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.size != self.num_nodes or set(map(int, perm)) != set(range(self.num_nodes)):
+            raise ValueError("permutation must be a permutation of all node indices")
+        edges = [(int(perm[u]), int(perm[v])) for (u, v) in self.edges()]
+        new_name = name if name is not None else f"{self._name}[relabel]"
+        return Graph.from_edges(self.num_nodes, edges, name=new_name)
+
+    def with_name(self, name: str) -> "Graph":
+        """Return a shallow copy of the graph carrying a different name."""
+        return Graph(self._indptr, self._indices, name=name, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # Comparison / representation
+    # ------------------------------------------------------------------ #
+
+    def same_structure(self, other: "Graph") -> bool:
+        """Whether *other* has the exact same node set and adjacency."""
+        return (
+            isinstance(other, Graph)
+            and self.num_nodes == other.num_nodes
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(name={self._name!r}, n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def _validate(self) -> None:
+        n = self.num_nodes
+        if np.any(np.diff(self._indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self._indices.size and (self._indices.min() < 0 or self._indices.max() >= n):
+            raise ValueError("indices contain out-of-range node ids")
+        for u in range(n):
+            nbrs = self._indices[self._indptr[u]: self._indptr[u + 1]]
+            if np.any(np.diff(nbrs) <= 0):
+                raise ValueError(f"neighbour list of node {u} is not strictly increasing")
+            if np.any(nbrs == u):
+                raise ValueError(f"self-loop at node {u}")
+        # Symmetry: every arc must have its reverse.
+        for u in range(n):
+            for v in self._indices[self._indptr[u]: self._indptr[u + 1]]:
+                nbrs_v = self._indices[self._indptr[v]: self._indptr[v + 1]]
+                pos = np.searchsorted(nbrs_v, u)
+                if pos >= nbrs_v.size or nbrs_v[pos] != u:
+                    raise ValueError(f"arc {u}->{v} has no reverse arc; adjacency is not symmetric")

@@ -1,0 +1,74 @@
+"""Source/target pair samplers.
+
+The greedy diameter is a maximum over all pairs; estimating it well means
+including *hard* pairs.  Three samplers are provided:
+
+* :func:`uniform_pairs` — uniform random distinct pairs (estimates the
+  average-case routing cost),
+* :func:`extremal_pairs` — pairs biased towards large distances: the
+  double-sweep pseudo-peripheral pair plus pairs of far-apart random nodes
+  (estimates the greedy *diameter*, the quantity the theorems bound),
+* :func:`all_pairs` — every ordered pair (tiny graphs / exact tests only).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graphs.distances import bfs_distances, double_sweep_diameter_lower_bound
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["uniform_pairs", "extremal_pairs", "all_pairs"]
+
+
+def uniform_pairs(graph: Graph, count: int, seed: RngLike = None) -> List[Tuple[int, int]]:
+    """*count* uniformly random ordered pairs of distinct nodes."""
+    count = check_positive_int(count, "count")
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes to sample pairs")
+    rng = ensure_rng(seed)
+    pairs: List[Tuple[int, int]] = []
+    while len(pairs) < count:
+        s = int(rng.integers(0, n))
+        t = int(rng.integers(0, n))
+        if s != t:
+            pairs.append((s, t))
+    return pairs
+
+
+def extremal_pairs(graph: Graph, count: int, seed: RngLike = None) -> List[Tuple[int, int]]:
+    """*count* pairs biased towards the diameter of the graph.
+
+    The first pair is the double-sweep pseudo-peripheral pair (exact diameter
+    endpoints on trees); the remaining pairs take a random source and a node
+    at maximal distance from it.
+    """
+    count = check_positive_int(count, "count")
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes to sample pairs")
+    rng = ensure_rng(seed)
+    pairs: List[Tuple[int, int]] = []
+    a, b, _ = double_sweep_diameter_lower_bound(graph, start=int(rng.integers(0, n)))
+    pairs.append((a, b))
+    while len(pairs) < count:
+        s = int(rng.integers(0, n))
+        dist = bfs_distances(graph, s)
+        t = int(np.argmax(dist))
+        if t != s:
+            pairs.append((s, t))
+        if len(pairs) < count:
+            # Also include the reverse direction: greedy routing is not symmetric.
+            pairs.append((t, s))
+    return pairs[:count]
+
+
+def all_pairs(graph: Graph) -> List[Tuple[int, int]]:
+    """Every ordered pair of distinct nodes (use only on small graphs)."""
+    n = graph.num_nodes
+    return [(s, t) for s in range(n) for t in range(n) if s != t]

@@ -1,0 +1,77 @@
+"""Summary statistics for Monte-Carlo routing estimates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["SummaryStats", "summarize", "bootstrap_mean_ci"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / spread summary of a sample of route lengths."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+    ci95_low: float
+    ci95_high: float
+
+    def as_dict(self) -> dict:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "count": self.count,
+            "ci95_low": self.ci95_low,
+            "ci95_high": self.ci95_high,
+        }
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Summary of *samples* with a normal-approximation 95% CI on the mean."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = 1.96 * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    return SummaryStats(
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+        ci95_low=mean - half,
+        ci95_high=mean + half,
+    )
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    *,
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: RngLike = None,
+) -> Tuple[float, float]:
+    """Bootstrap confidence interval for the mean of *samples*."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must lie in (0, 1)")
+    rng = ensure_rng(seed)
+    means = np.empty(num_resamples)
+    for i in range(num_resamples):
+        resample = rng.choice(arr, size=arr.size, replace=True)
+        means[i] = resample.mean()
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))

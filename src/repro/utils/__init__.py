@@ -1,0 +1,18 @@
+"""Shared utilities: random-number handling, timing, validation helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_probabilities,
+    check_node_index,
+    check_positive_int,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_probabilities",
+    "check_node_index",
+    "check_positive_int",
+]

@@ -1,0 +1,68 @@
+"""Lightweight wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named timing stages; used for experiment progress reports."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def time(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        if name not in self.stages:
+            self.order.append(name)
+            self.stages[name] = 0.0
+        self.stages[name] += seconds
+
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def report(self) -> str:
+        lines = [f"{name}: {self.stages[name]:.3f}s" for name in self.order]
+        lines.append(f"total: {self.total():.3f}s")
+        return "\n".join(lines)
+
+
+class _StageContext:
+    def __init__(self, timer: StageTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.record(self._name, time.perf_counter() - self._start)

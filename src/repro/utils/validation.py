@@ -1,0 +1,51 @@
+"""Argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str, *, minimum: int = 1) -> int:
+    """Validate that *value* is an integer ``>= minimum`` and return it."""
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_node_index(node: int, num_nodes: int, name: str = "node") -> int:
+    """Validate that *node* is a valid index in ``[0, num_nodes)``."""
+    if not isinstance(node, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(node).__name__}")
+    if node < 0 or node >= num_nodes:
+        raise ValueError(f"{name} {node} out of range [0, {num_nodes})")
+    return int(node)
+
+
+def check_probabilities(
+    probs: Iterable[float],
+    *,
+    name: str = "probabilities",
+    require_stochastic: bool = False,
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Validate a probability vector.
+
+    Rows of augmentation matrices (Definition 1 of the paper) are allowed to
+    sum to *at most* one; set ``require_stochastic=True`` to additionally
+    require the sum to equal one.
+    """
+    arr = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} contains negative entries")
+    total = float(arr.sum())
+    if total > 1.0 + 1e-6:
+        raise ValueError(f"{name} sums to {total} > 1")
+    if require_stochastic and abs(total - 1.0) > 1e-6:
+        raise ValueError(f"{name} sums to {total} != 1")
+    return arr

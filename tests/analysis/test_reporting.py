@@ -1,0 +1,75 @@
+"""Unit tests for experiment result reporting."""
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import ExperimentResult, SeriesResult
+
+
+def _sample_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="EXP-X",
+        title="demo",
+        paper_claim="claim",
+        parameters={"trials": 4},
+    )
+    series = SeriesResult(name="uniform/ring")
+    for n, v in [(128, 10.0), (256, 14.0), (512, 20.0)]:
+        series.add(n, v)
+    result.add_series(series)
+    return result
+
+
+class TestSeriesResult:
+    def test_add_and_fit(self):
+        s = SeriesResult(name="x")
+        s.add(100, 10)
+        s.add(400, 20)
+        fit = s.power_law()
+        assert fit is not None
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+
+    def test_fit_requires_two_points(self):
+        s = SeriesResult(name="x")
+        s.add(100, 10)
+        assert s.power_law() is None
+
+    def test_as_dict(self):
+        s = SeriesResult(name="x")
+        s.add(10, 1)
+        s.add(100, 2)
+        d = s.as_dict()
+        assert d["name"] == "x"
+        assert d["sizes"] == [10, 100]
+        assert d["exponent"] is not None
+
+
+class TestExperimentResult:
+    def test_get_series(self):
+        result = _sample_result()
+        assert result.get_series("uniform/ring").sizes == [128, 256, 512]
+        with pytest.raises(KeyError):
+            result.get_series("missing")
+
+    def test_to_text_contains_claim_and_series(self):
+        text = _sample_result().to_text()
+        assert "EXP-X" in text
+        assert "claim" in text
+        assert "uniform/ring" in text
+
+    def test_to_markdown_contains_table(self):
+        md = _sample_result().to_markdown()
+        assert md.startswith("### EXP-X")
+        assert "| series |" in md or "| series " in md
+
+    def test_to_json_roundtrip(self):
+        payload = json.loads(_sample_result().to_json())
+        assert payload["experiment_id"] == "EXP-X"
+        assert payload["series"][0]["sizes"] == [128, 256, 512]
+
+    def test_conclusion_included(self):
+        result = _sample_result()
+        result.conclusion = "matches the paper"
+        assert "matches the paper" in result.to_text()
+        assert "matches the paper" in result.to_markdown()

@@ -1,0 +1,86 @@
+"""Unit tests for scaling-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import classify_growth, fit_polylog, fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_exponent(self):
+        sizes = [100, 200, 400, 800, 1600]
+        values = [3.0 * n ** 0.5 for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.prefactor == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_cube_root(self):
+        sizes = [64, 512, 4096]
+        values = [2.0 * n ** (1 / 3) for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert fit.exponent == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_noisy_data_reasonable(self):
+        rng = np.random.default_rng(0)
+        sizes = np.array([128, 256, 512, 1024, 2048, 4096])
+        values = 5.0 * sizes ** 0.4 * np.exp(rng.normal(0, 0.05, size=sizes.size))
+        fit = fit_power_law(sizes, values)
+        assert abs(fit.exponent - 0.4) < 0.1
+        assert fit.r_squared > 0.9
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100], [10, 100])
+        assert fit.predict(1000) == pytest.approx(1000)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [5])
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20], [1.0, 0.0])
+
+    def test_summary_string(self):
+        fit = fit_power_law([10, 100, 1000], [1, 10, 100])
+        assert "n^" in fit.summary()
+
+
+class TestFitPolylog:
+    def test_exact_polylog_has_unit_spread(self):
+        sizes = [256, 1024, 4096]
+        values = [7.0 * np.log2(n) ** 2 for n in sizes]
+        fit = fit_polylog(sizes, values, degree=2)
+        assert fit.ratio_spread == pytest.approx(1.0)
+        assert fit.prefactor == pytest.approx(7.0)
+
+    def test_power_law_data_has_large_spread(self):
+        sizes = [256, 1024, 4096, 16384]
+        values = [n ** 0.5 for n in sizes]
+        fit = fit_polylog(sizes, values, degree=2)
+        assert fit.ratio_spread > 2.0
+
+    def test_predict(self):
+        fit = fit_polylog([256, 1024], [64, 100], degree=2)
+        assert fit.predict(256) == pytest.approx(fit.prefactor * 64)
+
+    def test_requires_sizes_above_one(self):
+        with pytest.raises(ValueError):
+            fit_polylog([1, 2], [1, 1], degree=2)
+
+
+class TestClassifyGrowth:
+    def test_sqrt_growth_is_polynomial(self):
+        sizes = [256, 512, 1024, 2048, 4096]
+        values = [n ** 0.5 for n in sizes]
+        assert classify_growth(sizes, values) == "polynomial"
+
+    def test_log_squared_growth_is_polylog(self):
+        sizes = [256, 512, 1024, 2048, 4096]
+        values = [np.log2(n) ** 2 for n in sizes]
+        assert classify_growth(sizes, values, polylog_degree=2) == "polylog"
+
+    def test_constant_is_polylog(self):
+        sizes = [256, 512, 1024]
+        values = [10.0, 10.5, 9.5]
+        assert classify_growth(sizes, values) == "polylog"

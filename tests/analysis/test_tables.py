@@ -1,0 +1,33 @@
+"""Unit tests for table formatting."""
+
+from repro.analysis.tables import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table([[1, "abc"], [22, "d"]], headers=["n", "name"])
+        lines = text.splitlines()
+        assert lines[0].startswith("n")
+        assert "name" in lines[0]
+        assert len(lines) == 4
+
+    def test_floats_are_rounded(self):
+        text = format_table([[1.23456]], headers=["x"])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table([], headers=["a", "b"])
+        assert "a" in text
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table([[1, 2.5]], headers=["n", "value"])
+        lines = text.splitlines()
+        assert lines[0] == "| n | value |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.500 |"
+
+    def test_row_count(self):
+        text = format_markdown_table([[1], [2], [3]], headers=["x"])
+        assert len(text.splitlines()) == 5

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path8() -> Graph:
+    return generators.path_graph(8)
+
+
+@pytest.fixture
+def cycle12() -> Graph:
+    return generators.cycle_graph(12)
+
+
+@pytest.fixture
+def grid4x4() -> Graph:
+    return generators.grid_graph([4, 4])
+
+
+@pytest.fixture
+def tree15() -> Graph:
+    return generators.binary_tree(15)
+
+
+@pytest.fixture
+def random_tree_64() -> Graph:
+    return generators.random_tree(64, seed=7)
+
+
+@pytest.fixture
+def small_graphs(path8, cycle12, grid4x4, tree15) -> list:
+    """A small portfolio of connected graphs used by cross-cutting tests."""
+    return [path8, cycle12, grid4x4, tree15]

@@ -1,0 +1,130 @@
+"""Unit tests for the adversarial constructions (Theorems 1 and 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.adversarial import (
+    adversarial_path_labeling,
+    block_labeling,
+    find_sparse_index_set,
+    internal_mass,
+    popular_interval,
+)
+from repro.core.matrix import (
+    AugmentationMatrix,
+    block_diffusion_matrix,
+    harmonic_label_matrix,
+    uniform_matrix,
+)
+
+
+class TestInternalMass:
+    def test_uniform_matrix_mass(self):
+        m = uniform_matrix(16)
+        # A set of k labels has internal mass k(k-1)/16.
+        assert internal_mass(m, [1, 2, 3, 4]) == pytest.approx(4 * 3 / 16)
+
+    def test_empty_set(self):
+        assert internal_mass(uniform_matrix(4), []) == 0.0
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(ValueError):
+            internal_mass(uniform_matrix(4), [5])
+
+
+class TestFindSparseIndexSet:
+    @pytest.mark.parametrize(
+        "matrix_factory",
+        [uniform_matrix, lambda n: harmonic_label_matrix(n), lambda n: block_diffusion_matrix(n, 3)],
+    )
+    def test_finds_set_below_threshold(self, matrix_factory):
+        n = 64
+        matrix = matrix_factory(n)
+        size = int(math.isqrt(n))
+        chosen = find_sparse_index_set(matrix, size, seed=0)
+        assert len(chosen) == size
+        assert len(set(chosen)) == size
+        assert all(1 <= lab <= n for lab in chosen)
+        assert internal_mass(matrix, chosen) < 1.0
+
+    def test_size_larger_than_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            find_sparse_index_set(uniform_matrix(4), 5)
+
+    def test_concentrated_matrix_still_solvable(self):
+        # A matrix that pushes all mass into a small clique of labels: the
+        # greedy removal must avoid that clique.
+        n = 32
+        entries = np.zeros((n, n))
+        entries[:8, :8] = 1.0 / 8
+        matrix = AugmentationMatrix(entries)
+        chosen = find_sparse_index_set(matrix, 5, seed=1)
+        assert internal_mass(matrix, chosen) < 1.0
+
+
+class TestAdversarialPathLabeling:
+    def test_instance_structure(self):
+        n = 100
+        matrix = uniform_matrix(n)
+        instance = adversarial_path_labeling(matrix, n, seed=0)
+        assert instance.labels.shape == (n,)
+        # All labels distinct and within [1, n].
+        assert len(set(instance.labels.tolist())) == n
+        assert instance.labels.min() >= 1 and instance.labels.max() <= n
+        start, end = instance.segment
+        assert end - start == int(math.isqrt(n))
+        assert start <= instance.source < instance.target < end
+        assert instance.internal_mass < 1.0
+
+    def test_hard_pair_separation_is_about_a_third(self):
+        n = 400
+        instance = adversarial_path_labeling(uniform_matrix(n), n, seed=3)
+        seg_len = instance.segment[1] - instance.segment[0]
+        gap = instance.target - instance.source
+        assert seg_len // 4 <= gap <= seg_len
+
+    def test_matrix_smaller_than_path_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_path_labeling(uniform_matrix(10), 20)
+
+    def test_deterministic_given_seed(self):
+        matrix = harmonic_label_matrix(64)
+        a = adversarial_path_labeling(matrix, 64, seed=9)
+        b = adversarial_path_labeling(matrix, 64, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.source == b.source and a.target == b.target
+
+
+class TestBlockLabeling:
+    def test_block_structure(self):
+        labels = block_labeling(12, 3)
+        assert list(labels) == [1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]
+
+    def test_number_of_labels(self):
+        labels = block_labeling(100, 7)
+        assert len(set(labels.tolist())) == 7
+        assert labels.min() == 1 and labels.max() == 7
+
+    def test_labels_cannot_exceed_nodes(self):
+        with pytest.raises(ValueError):
+            block_labeling(5, 6)
+
+
+class TestPopularInterval:
+    def test_finds_interval_when_all_popular(self):
+        labels = block_labeling(64, 4)  # every label used 16 times
+        interval = popular_interval(labels, interval_length=8, popularity_threshold=10)
+        assert interval is not None
+        start, end = interval
+        assert end - start == 8
+
+    def test_returns_none_when_all_labels_rare(self):
+        labels = np.arange(1, 33)  # every label used exactly once
+        assert popular_interval(labels, interval_length=4, popularity_threshold=2) is None
+
+    def test_threshold_respected(self):
+        labels = np.array([1, 1, 1, 1, 2, 3, 4, 5])
+        # Only label 1 is popular at threshold 3; the first block qualifies.
+        assert popular_interval(labels, interval_length=4, popularity_threshold=3) == (0, 4)

@@ -1,0 +1,68 @@
+"""Unit tests for the distance-power (Kleinberg) scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.kleinberg import DistancePowerScheme
+from repro.graphs import generators
+from repro.graphs.distances import bfs_distances
+
+
+class TestDistancePowerScheme:
+    def test_distribution_proportional_to_inverse_distance(self):
+        g = generators.path_graph(9)
+        scheme = DistancePowerScheme(g, 1.0)
+        probs = scheme.contact_distribution(0)
+        dist = bfs_distances(g, 0).astype(float)
+        expected = np.zeros(9)
+        expected[1:] = 1.0 / dist[1:]
+        expected /= expected.sum()
+        assert np.allclose(probs, expected)
+
+    def test_distribution_sums_to_one(self, grid4x4):
+        for r in (0.0, 1.0, 2.0, 3.5):
+            scheme = DistancePowerScheme(grid4x4, r)
+            assert np.isclose(scheme.contact_distribution(5).sum(), 1.0)
+
+    def test_zero_exponent_is_uniform_over_others(self, cycle12):
+        scheme = DistancePowerScheme(cycle12, 0.0)
+        probs = scheme.contact_distribution(4)
+        assert probs[4] == 0.0
+        assert np.allclose(probs[probs > 0], 1.0 / 11)
+
+    def test_never_samples_self(self, cycle12, rng):
+        scheme = DistancePowerScheme(cycle12, 2.0)
+        assert all(scheme.sample_contact(7, rng) != 7 for _ in range(100))
+
+    def test_large_exponent_prefers_neighbours(self, rng):
+        g = generators.path_graph(30)
+        scheme = DistancePowerScheme(g, 6.0)
+        samples = [scheme.sample_contact(15, rng) for _ in range(300)]
+        dist = bfs_distances(g, 15)
+        assert np.mean([dist[s] for s in samples]) < 2.0
+
+    def test_negative_exponent_rejected(self, path8):
+        with pytest.raises(ValueError):
+            DistancePowerScheme(path8, -1.0)
+
+    def test_cache_reset(self, path8):
+        scheme = DistancePowerScheme(path8, 1.0)
+        scheme.contact_distribution(0)
+        scheme.reset_cache()
+        assert scheme._cache == {}
+
+    def test_exponent_property_and_describe(self, path8):
+        scheme = DistancePowerScheme(path8, 2.5)
+        assert scheme.exponent == 2.5
+        assert "2.5" in scheme.describe()
+
+    def test_empirical_frequencies_match_distribution(self):
+        g = generators.cycle_graph(10)
+        scheme = DistancePowerScheme(g, 1.0)
+        probs = scheme.contact_distribution(0)
+        rng = np.random.default_rng(1)
+        counts = np.zeros(10)
+        samples = 5000
+        for _ in range(samples):
+            counts[scheme.sample_contact(0, rng)] += 1
+        assert np.all(np.abs(counts / samples - probs) < 0.05)

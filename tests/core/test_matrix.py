@@ -1,0 +1,138 @@
+"""Unit tests for augmentation matrices and matrix schemes (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import (
+    AugmentationMatrix,
+    MatrixScheme,
+    block_diffusion_matrix,
+    harmonic_label_matrix,
+    uniform_matrix,
+)
+from repro.graphs import generators
+
+
+class TestAugmentationMatrix:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            AugmentationMatrix(np.zeros((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            AugmentationMatrix([[-0.1, 0.2], [0.0, 0.5]])
+
+    def test_rejects_row_sum_above_one(self):
+        with pytest.raises(ValueError):
+            AugmentationMatrix([[0.7, 0.7], [0.0, 0.0]])
+
+    def test_sub_stochastic_rows_allowed(self):
+        m = AugmentationMatrix([[0.2, 0.3], [0.0, 0.0]])
+        assert not m.is_stochastic()
+        assert m.size == 2
+
+    def test_probability_accessor(self):
+        m = AugmentationMatrix([[0.25, 0.75], [0.5, 0.5]])
+        assert m.probability(0, 1) == 0.75
+        assert m.row(1).tolist() == [0.5, 0.5]
+
+    def test_entries_read_only(self):
+        m = uniform_matrix(4)
+        with pytest.raises(ValueError):
+            m.entries[0, 0] = 1.0
+
+
+class TestCanonicalMatrices:
+    def test_uniform_matrix_is_stochastic(self):
+        m = uniform_matrix(8)
+        assert m.is_stochastic()
+        assert np.allclose(m.entries, 1.0 / 8)
+        assert m.is_name_independent_symmetric()
+
+    def test_harmonic_matrix_rows_normalised(self):
+        m = harmonic_label_matrix(16)
+        assert m.is_stochastic()
+        # Mass decreases with label distance.
+        assert m.probability(0, 1) > m.probability(0, 8)
+
+    def test_harmonic_matrix_mass_decays_with_label_distance(self):
+        m = harmonic_label_matrix(9)
+        row = m.row(4)
+        assert row[4] == 0.0
+        # Mass decreases monotonically moving away from the diagonal.
+        assert row[3] > row[2] > row[1] > row[0]
+        assert row[5] > row[6] > row[7] > row[8]
+
+    def test_block_matrix_row_sums_at_most_one(self):
+        m = block_diffusion_matrix(20, block=3)
+        assert np.all(m.entries.sum(axis=1) <= 1.0 + 1e-9)
+        assert m.probability(10, 13) > 0
+        assert m.probability(10, 14) == 0
+
+
+class TestMatrixScheme:
+    def test_identity_labeling_requires_large_matrix(self, path8):
+        with pytest.raises(ValueError):
+            MatrixScheme(path8, uniform_matrix(4))
+
+    def test_labels_validated(self, path8):
+        with pytest.raises(ValueError):
+            MatrixScheme(path8, uniform_matrix(8), labels=[0] * 8)  # labels are 1-based
+        with pytest.raises(ValueError):
+            MatrixScheme(path8, uniform_matrix(8), labels=[1] * 7)  # wrong length
+
+    def test_uniform_matrix_scheme_distribution(self, path8):
+        scheme = MatrixScheme(path8, uniform_matrix(8))
+        probs = scheme.contact_distribution(3)
+        assert np.allclose(probs, 1.0 / 8)
+
+    def test_shared_labels_split_mass(self):
+        g = generators.path_graph(4)
+        # Two labels, each carried by two nodes.
+        labels = [1, 1, 2, 2]
+        matrix = AugmentationMatrix([[0.0, 1.0], [1.0, 0.0]])
+        scheme = MatrixScheme(g, matrix, labels=labels)
+        probs = scheme.contact_distribution(0)
+        assert np.allclose(probs, [0.0, 0.0, 0.5, 0.5])
+
+    def test_unused_label_drops_link(self, rng):
+        g = generators.path_graph(3)
+        # Row sends all mass to label 3, which no node carries.
+        matrix = AugmentationMatrix(np.array([
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0],
+        ]))
+        scheme = MatrixScheme(g, matrix, labels=[1, 2, 2])
+        assert all(scheme.sample_contact(0, rng) is None for _ in range(50))
+        assert scheme.contact_distribution(0).sum() == 0.0
+
+    def test_sub_stochastic_row_sometimes_no_link(self, rng):
+        g = generators.path_graph(2)
+        matrix = AugmentationMatrix([[0.0, 0.3], [0.3, 0.0]])
+        scheme = MatrixScheme(g, matrix)
+        outcomes = [scheme.sample_contact(0, rng) for _ in range(500)]
+        none_fraction = sum(1 for o in outcomes if o is None) / len(outcomes)
+        assert 0.6 < none_fraction < 0.8
+
+    def test_sampler_matches_distribution(self, rng):
+        g = generators.cycle_graph(6)
+        matrix = harmonic_label_matrix(6)
+        scheme = MatrixScheme(g, matrix)
+        probs = scheme.contact_distribution(2)
+        counts = np.zeros(6)
+        samples = 6000
+        for _ in range(samples):
+            c = scheme.sample_contact(2, rng)
+            if c is not None:
+                counts[c] += 1
+        assert np.all(np.abs(counts / samples - probs) < 0.05)
+
+    def test_nodes_with_label(self, path8):
+        scheme = MatrixScheme(path8, uniform_matrix(8), labels=[1, 1, 2, 2, 3, 3, 4, 4])
+        assert list(scheme.nodes_with_label(2)) == [2, 3]
+        assert list(scheme.nodes_with_label(7)) == []
+
+    def test_describe(self, path8):
+        scheme = MatrixScheme(path8, uniform_matrix(8))
+        assert "uniform" in scheme.describe()

@@ -1,0 +1,43 @@
+"""Unit tests for the scheme registry."""
+
+import pytest
+
+from repro.core.ball_scheme import BallScheme
+from repro.core.kleinberg import DistancePowerScheme
+from repro.core.registry import available_schemes, make_scheme, register_scheme
+from repro.core.uniform import UniformScheme
+from repro.graphs import generators
+
+
+class TestRegistry:
+    def test_builtin_schemes_registered(self):
+        names = available_schemes()
+        for expected in ("uniform", "ball", "theorem2", "kleinberg", "matrix-uniform"):
+            assert expected in names
+
+    def test_make_uniform(self, cycle12):
+        assert isinstance(make_scheme("uniform", cycle12), UniformScheme)
+
+    def test_make_ball(self, cycle12):
+        assert isinstance(make_scheme("ball", cycle12, seed=1), BallScheme)
+
+    def test_make_kleinberg_with_exponent(self, cycle12):
+        scheme = make_scheme("kleinberg", cycle12, exponent=1.5)
+        assert isinstance(scheme, DistancePowerScheme)
+        assert scheme.exponent == 1.5
+
+    def test_make_theorem2(self, path8):
+        scheme = make_scheme("theorem2", path8)
+        assert scheme.scheme_name == "theorem2"
+
+    def test_case_insensitive(self, cycle12):
+        assert isinstance(make_scheme("UNIFORM", cycle12), UniformScheme)
+
+    def test_unknown_scheme_raises(self, cycle12):
+        with pytest.raises(KeyError):
+            make_scheme("nonexistent", cycle12)
+
+    def test_register_custom_scheme(self, cycle12):
+        register_scheme("custom-uniform", lambda g, **kw: UniformScheme(g, **kw))
+        assert "custom-uniform" in available_schemes()
+        assert isinstance(make_scheme("custom-uniform", cycle12), UniformScheme)

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the augmentation schemes.
+
+Every scheme must produce a valid probability distribution over contacts
+(entries non-negative, total at most one) and its sampler must only return
+nodes that carry positive probability.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ball_scheme import BallScheme
+from repro.core.kleinberg import DistancePowerScheme
+from repro.core.matrix import MatrixScheme, uniform_matrix
+from repro.core.matrix_label import Theorem2Scheme
+from repro.core.uniform import UniformScheme
+from repro.graphs import generators
+
+
+def _graph_for(kind: str, n: int):
+    if kind == "path":
+        return generators.path_graph(n)
+    if kind == "cycle":
+        return generators.cycle_graph(max(3, n))
+    if kind == "tree":
+        return generators.random_tree(n, seed=n)
+    if kind == "grid":
+        side = max(2, int(round(n ** 0.5)))
+        return generators.grid_graph([side, side])
+    raise AssertionError(kind)
+
+
+graph_kinds = st.sampled_from(["path", "cycle", "tree", "grid"])
+sizes = st.integers(min_value=4, max_value=40)
+
+
+def _scheme_for(name: str, graph, seed: int):
+    if name == "uniform":
+        return UniformScheme(graph, seed=seed)
+    if name == "ball":
+        return BallScheme(graph, seed=seed)
+    if name == "theorem2":
+        return Theorem2Scheme(graph, seed=seed)
+    if name == "kleinberg":
+        return DistancePowerScheme(graph, 2.0, seed=seed)
+    if name == "matrix":
+        return MatrixScheme(graph, uniform_matrix(graph.num_nodes), seed=seed)
+    raise AssertionError(name)
+
+
+scheme_names = st.sampled_from(["uniform", "ball", "theorem2", "kleinberg", "matrix"])
+
+
+class TestSchemeDistributions:
+    @given(scheme_names, graph_kinds, sizes, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_is_sub_stochastic(self, scheme_name, kind, n, node_seed):
+        graph = _graph_for(kind, n)
+        scheme = _scheme_for(scheme_name, graph, seed=1)
+        node = node_seed % graph.num_nodes
+        probs = scheme.contact_distribution(node)
+        assert probs.shape == (graph.num_nodes,)
+        assert np.all(probs >= -1e-12)
+        assert probs.sum() <= 1.0 + 1e-6
+
+    @given(scheme_names, graph_kinds, sizes, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_sampler_respects_support(self, scheme_name, kind, n, node_seed):
+        graph = _graph_for(kind, n)
+        scheme = _scheme_for(scheme_name, graph, seed=1)
+        node = node_seed % graph.num_nodes
+        probs = scheme.contact_distribution(node)
+        rng = np.random.default_rng(node_seed)
+        for _ in range(10):
+            contact = scheme.sample_contact(node, rng)
+            if contact is not None:
+                assert probs[contact] > 0.0
+
+    @given(graph_kinds, sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_ball_scheme_covers_connected_graph(self, kind, n):
+        graph = _graph_for(kind, n)
+        scheme = BallScheme(graph)
+        probs = scheme.contact_distribution(0)
+        # With ceil(log n) levels, the largest ball covers everything, so the
+        # distribution is fully stochastic and supported everywhere.
+        assert np.isclose(probs.sum(), 1.0)
+        assert np.all(probs > 0.0)
+
+    @given(graph_kinds, sizes, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem2_uniform_component_lower_bound(self, kind, n, node_seed):
+        graph = _graph_for(kind, n)
+        scheme = Theorem2Scheme(graph, seed=0)
+        node = node_seed % graph.num_nodes
+        probs = scheme.contact_distribution(node)
+        # Every node receives at least the uniform half's mass 1/(2n).
+        assert np.all(probs >= 0.5 / graph.num_nodes - 1e-12)

@@ -1,0 +1,55 @@
+"""Unit tests for the uniform scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.uniform import UniformScheme
+from repro.graphs import generators
+
+
+class TestUniformScheme:
+    def test_distribution_is_uniform(self, cycle12):
+        scheme = UniformScheme(cycle12)
+        probs = scheme.contact_distribution(3)
+        assert probs.shape == (12,)
+        assert np.allclose(probs, 1.0 / 12)
+
+    def test_distribution_excluding_self(self, cycle12):
+        scheme = UniformScheme(cycle12, exclude_self=True)
+        probs = scheme.contact_distribution(3)
+        assert probs[3] == 0.0
+        assert np.isclose(probs.sum(), 1.0)
+        assert np.allclose(probs[probs > 0], 1.0 / 11)
+
+    def test_sample_in_range(self, cycle12, rng):
+        scheme = UniformScheme(cycle12, seed=0)
+        for _ in range(50):
+            c = scheme.sample_contact(5, rng)
+            assert 0 <= c < 12
+
+    def test_sample_excluding_self_never_self(self, path8, rng):
+        scheme = UniformScheme(path8, exclude_self=True)
+        assert all(scheme.sample_contact(4, rng) != 4 for _ in range(200))
+
+    def test_single_node_graph_excluding_self(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph.empty(1)
+        scheme = UniformScheme(g, exclude_self=True)
+        assert scheme.sample_contact(0, np.random.default_rng(0)) is None
+        assert scheme.contact_distribution(0).sum() == 0.0
+
+    def test_empirical_frequencies_match_uniform(self, path8):
+        scheme = UniformScheme(path8, seed=42)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(8)
+        samples = 4000
+        for _ in range(samples):
+            counts[scheme.sample_contact(2, rng)] += 1
+        freqs = counts / samples
+        assert np.all(np.abs(freqs - 1 / 8) < 0.04)
+
+    def test_out_of_range_node_rejected(self, path8):
+        scheme = UniformScheme(path8)
+        with pytest.raises(ValueError):
+            scheme.sample_contact(42)

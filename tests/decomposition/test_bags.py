@@ -1,0 +1,73 @@
+"""Unit tests for bag measures (width / length / shape, Definition 2)."""
+
+import pytest
+
+from repro.decomposition.bags import DistanceOracle, bag_length, bag_shape, bag_width
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+class TestBagWidth:
+    def test_width_is_cardinality_minus_one(self):
+        assert bag_width({1, 2, 3}) == 2
+        assert bag_width({5}) == 0
+        assert bag_width(set()) == -1
+
+    def test_width_deduplicates(self):
+        assert bag_width([1, 1, 2]) == 1
+
+
+class TestBagLength:
+    def test_length_on_path(self):
+        g = generators.path_graph(10)
+        oracle = DistanceOracle(g)
+        assert bag_length({0, 9}, oracle) == 9
+        assert bag_length({3, 4, 5}, oracle) == 2
+        assert bag_length({7}, oracle) == 0
+
+    def test_length_disconnected_raises(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        oracle = DistanceOracle(g)
+        with pytest.raises(ValueError):
+            bag_length({0, 3}, oracle)
+
+    def test_oracle_caches_bfs(self):
+        g = generators.cycle_graph(8)
+        oracle = DistanceOracle(g)
+        bag_length({0, 2, 4}, oracle)
+        first = oracle.cache_size()
+        bag_length({0, 2, 4}, oracle)
+        assert oracle.cache_size() == first
+
+    def test_oracle_callable(self):
+        g = generators.path_graph(5)
+        oracle = DistanceOracle(g)
+        assert oracle(0, 4) == 4
+        assert oracle(2, 2) == 0
+
+
+class TestBagShape:
+    def test_shape_is_min_of_width_and_length(self):
+        g = generators.complete_graph(6)
+        oracle = DistanceOracle(g)
+        # A clique bag: width 5, length 1 -> shape 1.
+        assert bag_shape(set(range(6)), oracle) == 1
+
+    def test_shape_on_path_bag(self):
+        g = generators.path_graph(12)
+        oracle = DistanceOracle(g)
+        # Two far-apart nodes: width 1 < length 11 -> shape 1.
+        assert bag_shape({0, 11}, oracle) == 1
+        # Three spread nodes: width 2 < length -> shape 2.
+        assert bag_shape({0, 5, 11}, oracle) == 2
+
+    def test_width_only_upper_bound(self):
+        g = generators.complete_graph(5)
+        oracle = DistanceOracle(g)
+        full = bag_shape(set(range(5)), oracle)
+        width_only = bag_shape(set(range(5)), oracle, width_only=True)
+        assert full <= width_only
+        assert width_only == 4
+
+    def test_shape_without_oracle_uses_width(self):
+        assert bag_shape({0, 1, 2, 3}) == 3

@@ -1,0 +1,71 @@
+"""Unit tests for elimination orderings and the induced tree decompositions."""
+
+import pytest
+
+from repro.decomposition.elimination import (
+    min_degree_ordering,
+    min_fill_ordering,
+    tree_decomposition_from_ordering,
+    treewidth_upper_bound,
+)
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+class TestOrderings:
+    def test_min_degree_is_permutation(self, grid4x4):
+        order = min_degree_ordering(grid4x4)
+        assert sorted(order) == list(range(16))
+
+    def test_min_fill_is_permutation(self, cycle12):
+        order = min_fill_ordering(cycle12)
+        assert sorted(order) == list(range(12))
+
+    def test_orderings_on_single_edge(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert sorted(min_degree_ordering(g)) == [0, 1]
+        assert sorted(min_fill_ordering(g)) == [0, 1]
+
+
+class TestDecompositionFromOrdering:
+    @pytest.mark.parametrize("strategy", ["min_degree", "min_fill"])
+    def test_valid_on_portfolio(self, small_graphs, strategy):
+        for g in small_graphs:
+            width, td = treewidth_upper_bound(g, strategy=strategy)
+            assert td.is_valid_for(g), td.violations(g)
+            assert width == td.width()
+
+    def test_tree_has_width_one(self, random_tree_64):
+        width, td = treewidth_upper_bound(random_tree_64)
+        assert width == 1
+        assert td.is_valid_for(random_tree_64)
+
+    def test_cycle_has_width_two(self):
+        g = generators.cycle_graph(10)
+        width, _ = treewidth_upper_bound(g, strategy="min_fill")
+        assert width == 2
+
+    def test_complete_graph_width(self):
+        g = generators.complete_graph(6)
+        width, td = treewidth_upper_bound(g)
+        assert width == 5
+        assert td.is_valid_for(g)
+
+    def test_grid_width_bounded(self):
+        g = generators.grid_graph([4, 4])
+        width, _ = treewidth_upper_bound(g, strategy="min_fill")
+        # tw(4x4 grid) = 4; heuristics may be slightly worse but not wildly.
+        assert 4 <= width <= 6
+
+    def test_ordering_must_be_permutation(self, path8):
+        with pytest.raises(ValueError):
+            tree_decomposition_from_ordering(path8, [0, 0, 1, 2, 3, 4, 5, 6])
+
+    def test_unknown_strategy(self, path8):
+        with pytest.raises(ValueError):
+            treewidth_upper_bound(path8, strategy="magic")
+
+    def test_disconnected_graph_supported(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        td = tree_decomposition_from_ordering(g, min_degree_ordering(g))
+        assert td.is_valid_for(g)

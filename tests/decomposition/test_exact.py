@@ -1,0 +1,106 @@
+"""Unit tests for the exact path decompositions of the paper's graph classes."""
+
+import math
+
+import pytest
+
+from repro.decomposition.exact import (
+    is_caterpillar,
+    is_path_graph,
+    is_tree,
+    path_decomposition_of_caterpillar,
+    path_decomposition_of_interval_graph,
+    path_decomposition_of_path,
+    path_decomposition_of_tree,
+)
+from repro.graphs import generators
+
+
+class TestRecognition:
+    def test_is_tree(self, random_tree_64):
+        assert is_tree(random_tree_64)
+        assert not is_tree(generators.cycle_graph(5))
+
+    def test_is_path_graph(self):
+        assert is_path_graph(generators.path_graph(7))
+        assert not is_path_graph(generators.star_graph(5))
+        assert not is_path_graph(generators.cycle_graph(5))
+
+    def test_is_caterpillar(self):
+        assert is_caterpillar(generators.caterpillar_graph(6, 2))
+        assert is_caterpillar(generators.path_graph(5))
+        assert is_caterpillar(generators.star_graph(6))
+        # A spider with 3 legs of length 3 is not a caterpillar.
+        assert not is_caterpillar(generators.spider_graph(3, 3))
+        assert not is_caterpillar(generators.cycle_graph(6))
+
+    def test_is_caterpillar_binary_tree(self):
+        assert not is_caterpillar(generators.binary_tree(15))
+
+
+class TestPathDecompositions:
+    def test_of_path(self):
+        g = generators.path_graph(9)
+        pd = path_decomposition_of_path(g)
+        assert pd.is_valid_for(g)
+        assert pd.width() == 1
+        assert pd.shape(g) == 1
+
+    def test_of_path_single_node(self):
+        g = generators.path_graph(1)
+        pd = path_decomposition_of_path(g)
+        assert pd.num_bags == 1
+
+    def test_of_path_rejects_non_path(self):
+        with pytest.raises(ValueError):
+            path_decomposition_of_path(generators.star_graph(4))
+
+    def test_of_caterpillar(self):
+        g = generators.caterpillar_graph(8, 2)
+        pd = path_decomposition_of_caterpillar(g)
+        assert pd.is_valid_for(g), pd.violations(g)
+        assert pd.width() <= 2
+        assert pd.shape(g) <= 2
+
+    def test_of_caterpillar_star(self):
+        g = generators.star_graph(7)
+        pd = path_decomposition_of_caterpillar(g)
+        assert pd.is_valid_for(g)
+        assert pd.width() == 1
+
+    def test_of_caterpillar_rejects_spider(self):
+        with pytest.raises(ValueError):
+            path_decomposition_of_caterpillar(generators.spider_graph(3, 3))
+
+    def test_of_tree_logarithmic_width(self):
+        for n in (15, 63, 127):
+            g = generators.binary_tree(n)
+            pd = path_decomposition_of_tree(g)
+            assert pd.is_valid_for(g)
+            assert pd.width() <= 2 * (math.log2(n) + 1)
+
+    def test_of_tree_on_random_tree(self, random_tree_64):
+        pd = path_decomposition_of_tree(random_tree_64)
+        assert pd.is_valid_for(random_tree_64)
+
+    def test_of_tree_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            path_decomposition_of_tree(generators.cycle_graph(6))
+
+    def test_of_interval_graph(self):
+        intervals = [(0, 2), (1, 4), (3, 6), (5, 8), (7, 9)]
+        graph = generators.interval_graph(intervals)
+        pd = path_decomposition_of_interval_graph(intervals)
+        assert pd.is_valid_for(graph), pd.violations(graph)
+        # All bags are cliques, so the shape (via the length term) is 1.
+        assert pd.shape(graph) <= 1
+
+    def test_of_interval_graph_random(self):
+        graph, intervals = generators.random_interval_graph(50, seed=2)
+        pd = path_decomposition_of_interval_graph(intervals)
+        assert pd.is_valid_for(graph), pd.violations(graph)
+        assert pd.shape(graph) <= 2
+
+    def test_of_interval_graph_empty(self):
+        with pytest.raises(ValueError):
+            path_decomposition_of_interval_graph([])

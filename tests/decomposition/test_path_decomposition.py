@@ -1,0 +1,105 @@
+"""Unit tests for PathDecomposition."""
+
+import pytest
+
+from repro.decomposition.path_decomposition import PathDecomposition
+from repro.graphs import generators
+
+
+class TestBasics:
+    def test_empty_bag_rejected(self):
+        with pytest.raises(ValueError):
+            PathDecomposition([{0}, set()])
+
+    def test_width(self):
+        pd = PathDecomposition([{0, 1}, {1, 2, 3}])
+        assert pd.width() == 2
+
+    def test_len_and_iter(self):
+        pd = PathDecomposition([{0}, {0, 1}])
+        assert len(pd) == 2
+        assert [set(b) for b in pd] == [{0}, {0, 1}]
+
+    def test_trivial(self, grid4x4):
+        pd = PathDecomposition.trivial(grid4x4)
+        assert pd.num_bags == 1
+        assert pd.is_valid_for(grid4x4)
+
+
+class TestValidity:
+    def test_path_bags_valid(self):
+        g = generators.path_graph(5)
+        pd = PathDecomposition([{0, 1}, {1, 2}, {2, 3}, {3, 4}])
+        assert pd.is_valid_for(g)
+
+    def test_non_consecutive_occurrence_detected(self):
+        g = generators.path_graph(3)
+        pd = PathDecomposition([{0, 1}, {1, 2}, {0, 2}])
+        assert any("non-consecutive" in v for v in pd.violations(g))
+
+    def test_missing_edge_detected(self):
+        g = generators.cycle_graph(4)
+        pd = PathDecomposition([{0, 1}, {1, 2}, {2, 3}])
+        assert any("edge" in v for v in pd.violations(g))
+
+    def test_missing_node_detected(self):
+        g = generators.path_graph(4)
+        pd = PathDecomposition([{0, 1}, {1, 2}])
+        assert any("not covered" in v for v in pd.violations(g))
+
+
+class TestNodeIntervals:
+    def test_intervals_on_path_decomposition(self):
+        pd = PathDecomposition([{0, 1}, {1, 2}, {2, 3}])
+        intervals = pd.node_intervals()
+        assert intervals[0] == (0, 0)
+        assert intervals[1] == (0, 1)
+        assert intervals[2] == (1, 2)
+        assert intervals[3] == (2, 2)
+
+    def test_intervals_raise_on_gap(self):
+        pd = PathDecomposition([{0}, {1}, {0}])
+        with pytest.raises(ValueError):
+            pd.node_intervals()
+
+
+class TestReduce:
+    def test_reduce_removes_contained_bags(self):
+        pd = PathDecomposition([{0, 1}, {1}, {1, 2}, {1, 2}, {2, 3}])
+        reduced = pd.reduced()
+        assert reduced.num_bags == 3
+        assert [set(b) for b in reduced] == [{0, 1}, {1, 2}, {2, 3}]
+
+    def test_reduce_keeps_validity(self):
+        g = generators.path_graph(4)
+        pd = PathDecomposition([{0, 1}, {0, 1}, {1, 2}, {2}, {2, 3}])
+        reduced = pd.reduced()
+        assert reduced.is_valid_for(g)
+
+    def test_reduce_idempotent(self):
+        pd = PathDecomposition([{0, 1}, {1, 2}, {2, 3}])
+        assert [set(b) for b in pd.reduced()] == [set(b) for b in pd]
+
+    def test_reduce_bag_count_bound(self):
+        # A reduced decomposition of an n-node connected graph has at most n-1 bags.
+        g = generators.path_graph(10)
+        pd = PathDecomposition([{i, i + 1} for i in range(9)] + [{8, 9}])
+        assert pd.reduced().num_bags <= 9
+
+    def test_reduce_single_bag(self):
+        pd = PathDecomposition([{0, 1, 2}])
+        assert pd.reduced().num_bags == 1
+
+
+class TestConversions:
+    def test_to_tree_decomposition(self, path8):
+        pd = PathDecomposition([{i, i + 1} for i in range(7)])
+        td = pd.to_tree_decomposition()
+        assert td.is_valid_for(path8)
+        assert td.width() == pd.width()
+
+    def test_shape_matches_tree_view(self):
+        g = generators.complete_graph(4)
+        pd = PathDecomposition([set(range(4))])
+        assert pd.shape(g) == 1  # clique: length 1 < width 3
+        assert pd.shape(width_only=True) == 3

@@ -1,0 +1,64 @@
+"""Unit tests for pathshape estimation."""
+
+import math
+
+import pytest
+
+from repro.decomposition.exact import path_decomposition_of_interval_graph
+from repro.decomposition.pathshape import estimate_pathshape
+from repro.graphs import generators
+
+
+class TestEstimatePathshape:
+    def test_path_has_pathshape_one(self):
+        est = estimate_pathshape(generators.path_graph(40))
+        assert est.shape == 1
+        assert est.decomposition.is_valid_for(generators.path_graph(40))
+
+    def test_caterpillar_small_pathshape(self):
+        g = generators.caterpillar_graph(20, 1)
+        est = estimate_pathshape(g)
+        assert est.shape <= 2
+
+    def test_tree_logarithmic_pathshape(self):
+        g = generators.binary_tree(127)
+        est = estimate_pathshape(g)
+        assert est.shape <= 2 * (math.log2(127) + 1)
+        assert est.decomposition.is_valid_for(g)
+
+    def test_cycle_constant_pathshape(self):
+        g = generators.cycle_graph(30)
+        est = estimate_pathshape(g)
+        assert est.shape <= 3
+
+    def test_torus_large_pathshape(self):
+        g = generators.torus_graph([8, 8])
+        est = estimate_pathshape(g)
+        # The 2-D torus has pathwidth Theta(sqrt(n)); the witnessed shape must
+        # reflect that (no strategy should report a tiny value).
+        assert est.shape >= 4
+
+    def test_external_decomposition_wins_when_better(self):
+        graph, intervals = generators.random_interval_graph(40, seed=1)
+        exact = path_decomposition_of_interval_graph(intervals)
+        est = estimate_pathshape(
+            graph, compute_length=True, external={"interval_model": exact}
+        )
+        assert est.shape <= 2
+
+    def test_candidates_recorded(self, grid4x4):
+        est = estimate_pathshape(grid4x4)
+        assert "min_degree" in est.candidates
+        assert est.strategy in est.candidates
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(ValueError):
+            estimate_pathshape(Graph.empty(0))
+
+    def test_compute_length_never_increases_shape(self):
+        g = generators.cycle_graph(16)
+        width_only = estimate_pathshape(g, compute_length=False)
+        with_length = estimate_pathshape(g, compute_length=True)
+        assert with_length.shape <= width_only.shape

@@ -1,0 +1,114 @@
+"""Unit tests for TreeDecomposition."""
+
+import pytest
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_tree_edge_count_must_match(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([{0}, {1}], [])  # 2 bags need 1 edge
+
+    def test_tree_edges_must_connect(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([{0}, {1}, {2}], [(0, 1), (0, 1)])
+
+    def test_tree_edge_out_of_range(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([{0}], [(0, 1)])
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([{0}, {1}], [(0, 0)])
+
+
+class TestValidity:
+    def test_trivial_decomposition_valid(self, grid4x4):
+        td = TreeDecomposition.trivial(grid4x4)
+        assert td.is_valid_for(grid4x4)
+        assert td.width() == 15
+
+    def test_path_edge_bags_valid(self):
+        g = generators.path_graph(5)
+        td = TreeDecomposition([{0, 1}, {1, 2}, {2, 3}, {3, 4}], [(0, 1), (1, 2), (2, 3)])
+        assert td.is_valid_for(g)
+        assert td.width() == 1
+
+    def test_missing_node_detected(self):
+        g = generators.path_graph(3)
+        td = TreeDecomposition([{0, 1}], [])
+        violations = td.violations(g)
+        assert any("not covered" in v for v in violations)
+
+    def test_missing_edge_detected(self):
+        g = generators.cycle_graph(4)
+        td = TreeDecomposition([{0, 1}, {1, 2}, {2, 3}, {0, 3}], [(0, 1), (1, 2), (2, 3)])
+        # Edge coverage is fine here; remove a bag to break it.
+        broken = TreeDecomposition([{0, 1}, {1, 2}, {2, 3}, {3}], [(0, 1), (1, 2), (2, 3)])
+        assert any("edge" in v for v in broken.violations(g))
+
+    def test_disconnected_occurrence_detected(self):
+        g = generators.path_graph(3)
+        # Node 0 appears in two bags that are not adjacent in the tree.
+        td = TreeDecomposition([{0, 1}, {1, 2}, {0, 2}], [(0, 1), (1, 2)])
+        assert any("connected subtree" in v for v in td.violations(g))
+
+
+class TestOfTree:
+    def test_of_tree_on_path(self):
+        g = generators.path_graph(6)
+        td = TreeDecomposition.of_tree(g)
+        assert td.is_valid_for(g)
+        assert td.width() == 1
+        assert td.num_bags == 5
+
+    def test_of_tree_on_star(self):
+        g = generators.star_graph(8)
+        td = TreeDecomposition.of_tree(g)
+        assert td.is_valid_for(g)
+        assert td.width() == 1
+
+    def test_of_tree_on_random_tree(self, random_tree_64):
+        td = TreeDecomposition.of_tree(random_tree_64)
+        assert td.is_valid_for(random_tree_64)
+        assert td.width() == 1
+
+    def test_of_tree_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition.of_tree(generators.cycle_graph(5))
+
+    def test_of_tree_rejects_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            TreeDecomposition.of_tree(g)
+
+    def test_of_tree_single_node(self):
+        td = TreeDecomposition.of_tree(Graph.empty(1))
+        assert td.num_bags == 1
+
+
+class TestMeasures:
+    def test_width_length_shape_on_cycle(self):
+        g = generators.cycle_graph(6)
+        # Valid decomposition: bags {0,1,5},{1,2,5},{2,3,5},{3,4,5} in a path.
+        td = TreeDecomposition(
+            [{0, 1, 5}, {1, 2, 5}, {2, 3, 5}, {3, 4, 5}],
+            [(0, 1), (1, 2), (2, 3)],
+        )
+        assert td.is_valid_for(g)
+        assert td.width() == 2
+        # The bag {2, 3, 5} has in-graph diameter 3 (dist(2, 5) = 3 on C6).
+        assert td.length(g) == 3
+        assert td.shape(g) == 2
+
+    def test_shape_width_only_is_upper_bound(self, grid4x4):
+        td = TreeDecomposition.trivial(grid4x4)
+        assert td.shape(grid4x4) <= td.shape(width_only=True)
+
+    def test_neighbors_and_adjacency(self):
+        td = TreeDecomposition([{0}, {1}, {2}], [(0, 1), (1, 2)])
+        assert td.neighbors(1) == [0, 2]
+        assert td.adjacency()[0] == [1]

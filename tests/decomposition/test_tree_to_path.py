@@ -1,0 +1,53 @@
+"""Unit tests for the centroid tree→path conversion."""
+
+import math
+
+import pytest
+
+from repro.decomposition.elimination import treewidth_upper_bound
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.decomposition.tree_to_path import tree_decomposition_to_path
+from repro.graphs import generators
+
+
+class TestTreeToPath:
+    def test_converts_path_tree_decomposition(self, path8):
+        td = TreeDecomposition.of_tree(path8)
+        pd = tree_decomposition_to_path(td)
+        assert pd.is_valid_for(path8), pd.violations(path8)
+
+    def test_converts_star(self):
+        g = generators.star_graph(16)
+        pd = tree_decomposition_to_path(TreeDecomposition.of_tree(g))
+        assert pd.is_valid_for(g)
+
+    def test_converts_random_tree(self, random_tree_64):
+        td = TreeDecomposition.of_tree(random_tree_64)
+        pd = tree_decomposition_to_path(td)
+        assert pd.is_valid_for(random_tree_64), pd.violations(random_tree_64)
+
+    def test_width_blowup_is_logarithmic(self):
+        for n in (31, 63, 127, 255):
+            g = generators.binary_tree(n)
+            td = TreeDecomposition.of_tree(g)
+            pd = tree_decomposition_to_path(td)
+            assert pd.is_valid_for(g)
+            bound = (td.width() + 1) * (math.log2(td.num_bags) + 1)
+            assert pd.width() <= bound
+
+    def test_works_on_heuristic_decompositions(self, grid4x4, cycle12):
+        for g in (grid4x4, cycle12):
+            _, td = treewidth_upper_bound(g)
+            pd = tree_decomposition_to_path(td)
+            assert pd.is_valid_for(g), pd.violations(g)
+
+    def test_single_bag(self):
+        g = generators.complete_graph(4)
+        td = TreeDecomposition.trivial(g)
+        pd = tree_decomposition_to_path(td)
+        assert pd.num_bags == 1
+        assert pd.is_valid_for(g)
+
+    def test_empty_decomposition_rejected(self):
+        with pytest.raises(ValueError):
+            tree_decomposition_to_path(TreeDecomposition([], []))

@@ -1,0 +1,28 @@
+"""Unit tests for ExperimentConfig."""
+
+from repro.experiments.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.sizes[-1] == 4096
+        assert cfg.trials > 0
+
+    def test_effective_sizes_with_cap(self):
+        cfg = ExperimentConfig(sizes=[128, 256, 512], max_size=256)
+        assert cfg.effective_sizes() == [128, 256]
+
+    def test_effective_sizes_cap_below_minimum(self):
+        cfg = ExperimentConfig(sizes=[128, 256], max_size=64)
+        assert cfg.effective_sizes() == [128]
+
+    def test_scaled_copy(self):
+        cfg = ExperimentConfig().scaled(trials=3)
+        assert cfg.trials == 3
+        assert cfg.sizes == ExperimentConfig().sizes
+
+    def test_quick_is_smaller_than_full(self):
+        quick, full = ExperimentConfig.quick(), ExperimentConfig.full()
+        assert max(quick.sizes) < max(full.sizes)
+        assert quick.trials <= full.trials

@@ -1,0 +1,70 @@
+"""Smoke + structure tests for every experiment module (tiny configurations).
+
+These are integration tests of the whole stack: generators → decompositions →
+schemes → routing → analysis → reporting.  The configurations are tiny so the
+whole file runs in seconds; the statistical claims themselves are checked at
+full size by the benchmark harness and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    exp_ball_scheme,
+    exp_kleinberg,
+    exp_label_size,
+    exp_matrix_label,
+    exp_name_independent,
+    exp_trees_atfree,
+    exp_uniform,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import EXPERIMENT_MODULES, render_markdown, run_all
+
+TINY = ExperimentConfig(sizes=[64, 128], num_pairs=3, trials=3, seed=7)
+
+ALL_MODULES = [
+    exp_uniform,
+    exp_name_independent,
+    exp_matrix_label,
+    exp_trees_atfree,
+    exp_label_size,
+    exp_ball_scheme,
+    exp_kleinberg,
+]
+
+
+class TestModuleContracts:
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.EXPERIMENT_ID)
+    def test_metadata_present(self, module):
+        assert module.EXPERIMENT_ID.startswith("EXP-")
+        assert module.TITLE
+        assert module.PAPER_CLAIM
+
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.EXPERIMENT_ID)
+    def test_run_produces_result(self, module):
+        result = module.run(TINY)
+        assert result.experiment_id == module.EXPERIMENT_ID
+        assert result.series, "experiment produced no series"
+        for series in result.series:
+            assert len(series.sizes) == len(series.values)
+            assert all(v >= 0 for v in series.values)
+        assert result.conclusion
+        # Text and markdown renderings must not crash and must mention the id.
+        assert module.EXPERIMENT_ID in result.to_text()
+        assert module.EXPERIMENT_ID in result.to_markdown()
+
+    def test_experiment_ids_unique_and_ordered(self):
+        ids = [m.EXPERIMENT_ID for m in EXPERIMENT_MODULES]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids, key=lambda x: int(x.split("-")[1]))
+
+
+class TestRunner:
+    def test_run_all_with_selection(self):
+        results = run_all(TINY, only=["EXP-1", "EXP-6"])
+        assert set(results) == {"EXP-1", "EXP-6"}
+
+    def test_render_markdown_concatenates(self):
+        results = run_all(TINY, only=["EXP-1"])
+        md = render_markdown(results)
+        assert md.startswith("### EXP-1")

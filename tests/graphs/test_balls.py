@@ -1,0 +1,71 @@
+"""Unit tests for ball computation (the Theorem-4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.balls import ball, ball_ranks, ball_sizes, growth_function, nodes_within
+from repro.graphs.distances import bfs_distances
+
+
+class TestBalls:
+    def test_ball_on_path(self):
+        g = generators.path_graph(10)
+        members = ball(g, 5, 2)
+        assert list(members) == [3, 4, 5, 6, 7]
+
+    def test_ball_radius_zero(self):
+        g = generators.cycle_graph(6)
+        assert list(ball(g, 2, 0)) == [2]
+
+    def test_ball_negative_radius_rejected(self):
+        g = generators.cycle_graph(6)
+        with pytest.raises(ValueError):
+            ball(g, 0, -1)
+
+    def test_ball_covers_whole_graph_at_diameter(self):
+        g = generators.cycle_graph(9)
+        assert len(ball(g, 0, 5)) == 9
+
+    def test_ball_sizes_consistent_with_ball(self):
+        g = generators.grid_graph([5, 5])
+        sizes = ball_sizes(g, 12, [0, 1, 2, 3])
+        for r, size in sizes.items():
+            assert size == len(ball(g, 12, r))
+
+    def test_ball_sizes_empty_radii(self):
+        g = generators.path_graph(4)
+        assert ball_sizes(g, 0, []) == {}
+
+    def test_nodes_within_helper(self):
+        g = generators.path_graph(6)
+        dist = bfs_distances(g, 0)
+        assert list(nodes_within(dist, 2)) == [0, 1, 2]
+
+    def test_growth_function_monotone(self):
+        g = generators.grid_graph([4, 4])
+        growth = growth_function(g, 0)
+        assert growth[0] == 1
+        assert growth[-1] == 16
+        assert np.all(np.diff(growth) >= 0)
+
+    def test_ball_ranks_definition(self):
+        g = generators.path_graph(40)
+        num_levels = 5
+        ranks = ball_ranks(g, 0, num_levels=num_levels)
+        dist = bfs_distances(g, 0)
+        for v in range(40):
+            if dist[v] == 0:
+                assert ranks[v] == 1
+            elif dist[v] <= 2 ** num_levels:
+                # r(v) is the smallest k with dist <= 2^k.
+                k = ranks[v]
+                assert dist[v] <= 2 ** k
+                assert k == 1 or dist[v] > 2 ** (k - 1)
+            else:
+                assert ranks[v] == num_levels + 1
+
+    def test_ball_ranks_requires_positive_levels(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            ball_ranks(g, 0, num_levels=0)

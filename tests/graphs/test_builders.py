@@ -1,0 +1,64 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_basic_build(self):
+        g = GraphBuilder(3).add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_duplicate_edges_ignored(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        b.add_edge(0, 1)
+        assert b.num_edges == 1
+        assert b.build().num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(3).add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(3).add_edge(0, 3)
+
+    def test_add_path(self):
+        g = GraphBuilder(5).add_path([0, 1, 2, 3, 4]).build()
+        assert g.num_edges == 4
+        assert g.has_edge(2, 3)
+
+    def test_add_cycle(self):
+        g = GraphBuilder(4).add_cycle([0, 1, 2, 3]).build()
+        assert g.num_edges == 4
+        assert g.has_edge(3, 0)
+
+    def test_add_cycle_too_short(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(3).add_cycle([0, 1])
+
+    def test_add_clique(self):
+        g = GraphBuilder(4).add_clique([0, 1, 2, 3]).build()
+        assert g.num_edges == 6
+
+    def test_add_edges_bulk(self):
+        g = GraphBuilder(4).add_edges([(0, 1), (2, 3)]).build()
+        assert g.num_edges == 2
+
+    def test_has_edge_before_build(self):
+        b = GraphBuilder(3).add_edge(0, 2)
+        assert b.has_edge(2, 0)
+        assert not b.has_edge(0, 1)
+
+    def test_empty_build(self):
+        g = GraphBuilder(4).build()
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+
+    def test_builder_name_propagates(self):
+        g = GraphBuilder(2, name="custom").add_edge(0, 1).build()
+        assert g.name == "custom"

@@ -1,0 +1,41 @@
+"""Unit tests for connectivity helpers."""
+
+from repro.graphs import generators
+from repro.graphs.components import connected_components, is_connected, largest_component
+from repro.graphs.graph import Graph
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self, cycle12):
+        comps = connected_components(cycle12)
+        assert len(comps) == 1
+        assert len(comps[0]) == 12
+
+    def test_disconnected_graph(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert len(comps) == 4  # {0,1}, {2,3}, {4}, {5}
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 1, 2, 2]
+
+    def test_is_connected(self, small_graphs):
+        for g in small_graphs:
+            assert is_connected(g)
+
+    def test_is_connected_false(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected(g)
+
+    def test_single_node_is_connected(self):
+        assert is_connected(Graph.empty(1))
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph.empty(0))
+
+    def test_largest_component(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (3, 4)])
+        largest = largest_component(g)
+        assert list(largest) == [0, 1, 2]
+
+    def test_largest_component_empty_graph(self):
+        assert len(largest_component(Graph.empty(0))) == 0

@@ -1,0 +1,45 @@
+"""Unit tests for networkx interoperability."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.conversion import from_networkx, to_networkx
+
+nx = pytest.importorskip("networkx")
+
+
+class TestConversion:
+    def test_roundtrip_preserves_structure(self, small_graphs):
+        for g in small_graphs:
+            nxg = to_networkx(g)
+            back, mapping = from_networkx(nxg)
+            assert back.num_nodes == g.num_nodes
+            assert back.num_edges == g.num_edges
+            assert mapping == {i: i for i in range(g.num_nodes)}
+
+    def test_to_networkx_counts(self, grid4x4):
+        nxg = to_networkx(grid4x4)
+        assert nxg.number_of_nodes() == 16
+        assert nxg.number_of_edges() == grid4x4.num_edges
+
+    def test_from_networkx_relabels_arbitrary_names(self):
+        nxg = nx.Graph()
+        nxg.add_edges_from([("a", "b"), ("b", "c")])
+        g, mapping = from_networkx(nxg)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert set(mapping) == {"a", "b", "c"}
+
+    def test_from_networkx_drops_self_loops(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g, _ = from_networkx(nxg)
+        assert g.num_edges == 1
+
+    def test_from_networkx_collapses_multiedges(self):
+        nxg = nx.MultiGraph()
+        nxg.add_edge(0, 1)
+        nxg.add_edge(0, 1)
+        g, _ = from_networkx(nxg)
+        assert g.num_edges == 1

@@ -1,0 +1,124 @@
+"""Unit tests for BFS distances, eccentricities and diameters (networkx as oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.conversion import to_networkx
+from repro.graphs.distances import (
+    UNREACHABLE,
+    bfs_distances,
+    bfs_tree,
+    diameter,
+    distance_matrix,
+    double_sweep_diameter_lower_bound,
+    eccentricity,
+    farthest_node,
+    multi_source_bfs,
+)
+from repro.graphs.graph import Graph
+
+nx = pytest.importorskip("networkx")
+
+
+class TestBfs:
+    def test_path_distances(self):
+        g = generators.path_graph(6)
+        dist = bfs_distances(g, 0)
+        assert list(dist) == [0, 1, 2, 3, 4, 5]
+
+    def test_cycle_distances(self):
+        g = generators.cycle_graph(8)
+        dist = bfs_distances(g, 0)
+        assert dist[4] == 4
+        assert dist[7] == 1
+
+    def test_matches_networkx_on_portfolio(self, small_graphs):
+        for g in small_graphs:
+            nxg = to_networkx(g)
+            for source in range(0, g.num_nodes, 3):
+                expected = nx.single_source_shortest_path_length(nxg, source)
+                dist = bfs_distances(g, source)
+                for v, d in expected.items():
+                    assert dist[v] == d
+
+    def test_unreachable_marked(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == UNREACHABLE and dist[3] == UNREACHABLE
+
+    def test_cutoff_truncates(self):
+        g = generators.path_graph(10)
+        dist = bfs_distances(g, 0, cutoff=3)
+        assert dist[3] == 3
+        assert dist[4] == UNREACHABLE
+
+    def test_cutoff_zero(self):
+        g = generators.path_graph(5)
+        dist = bfs_distances(g, 2, cutoff=0)
+        assert dist[2] == 0
+        assert np.count_nonzero(dist != UNREACHABLE) == 1
+
+    def test_negative_cutoff_rejected(self):
+        g = generators.path_graph(5)
+        with pytest.raises(ValueError):
+            bfs_distances(g, 0, cutoff=-1)
+
+    def test_bfs_tree_parents(self):
+        g = generators.path_graph(5)
+        dist, parent = bfs_tree(g, 2)
+        assert parent[2] == 2
+        assert parent[0] == 1 and parent[1] == 2
+        assert parent[4] == 3
+        assert list(dist) == [2, 1, 0, 1, 2]
+
+    def test_multi_source(self):
+        g = generators.path_graph(9)
+        dist = multi_source_bfs(g, [0, 8])
+        assert dist[4] == 4
+        assert dist[1] == 1
+        assert dist[7] == 1
+
+
+class TestAggregates:
+    def test_distance_matrix_symmetry(self, cycle12):
+        mat = distance_matrix(cycle12)
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_eccentricity_and_diameter(self):
+        g = generators.path_graph(7)
+        assert eccentricity(g, 0) == 6
+        assert eccentricity(g, 3) == 3
+        assert diameter(g) == 6
+
+    def test_diameter_matches_networkx(self, small_graphs):
+        for g in small_graphs:
+            assert diameter(g) == nx.diameter(to_networkx(g))
+
+    def test_eccentricity_disconnected_raises(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            eccentricity(g, 0)
+
+    def test_diameter_disconnected_raises(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            diameter(g)
+
+    def test_farthest_node(self):
+        g = generators.path_graph(10)
+        node, dist = farthest_node(g, 0)
+        assert node == 9 and dist == 9
+
+    def test_double_sweep_exact_on_trees(self, random_tree_64):
+        _, _, d = double_sweep_diameter_lower_bound(random_tree_64)
+        assert d == diameter(random_tree_64)
+
+    def test_double_sweep_is_lower_bound(self, small_graphs):
+        for g in small_graphs:
+            _, _, d = double_sweep_diameter_lower_bound(g)
+            assert d <= diameter(g)
+
+    def test_inexact_diameter_uses_double_sweep(self, grid4x4):
+        assert diameter(grid4x4, exact=False) <= diameter(grid4x4)

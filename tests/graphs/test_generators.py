@@ -1,0 +1,214 @@
+"""Unit tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.components import is_connected
+from repro.graphs.distances import diameter
+
+
+class TestDeterministicFamilies:
+    def test_path_graph(self):
+        g = generators.path_graph(10)
+        assert g.num_nodes == 10
+        assert g.num_edges == 9
+        assert g.degree(0) == 1 and g.degree(9) == 1
+        assert all(g.degree(v) == 2 for v in range(1, 9))
+
+    def test_path_graph_single_node(self):
+        g = generators.path_graph(1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_cycle_graph(self):
+        g = generators.cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in range(7))
+        assert diameter(g) == 3
+
+    def test_cycle_graph_minimum_size(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+        assert diameter(g) == 1
+
+    def test_star_graph(self):
+        g = generators.star_graph(9)
+        assert g.num_edges == 8
+        assert g.degree(0) == 8
+        assert diameter(g) == 2
+
+    def test_grid_graph(self):
+        g = generators.grid_graph([3, 4])
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # vertical + horizontal edges
+        assert diameter(g) == (3 - 1) + (4 - 1)
+
+    def test_torus_graph(self):
+        g = generators.torus_graph([4, 4])
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in range(16))
+        assert diameter(g) == 4
+
+    def test_grid_3d(self):
+        g = generators.grid_graph([2, 2, 2])
+        assert g.num_nodes == 8
+        assert g.num_edges == 12
+        assert diameter(g) == 3
+
+    def test_hypercube(self):
+        g = generators.hypercube_graph(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in range(16))
+        assert diameter(g) == 4
+
+    def test_balanced_tree(self):
+        g = generators.balanced_tree(2, 3)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_binary_tree(self):
+        g = generators.binary_tree(10)
+        assert g.num_nodes == 10
+        assert g.num_edges == 9
+        assert is_connected(g)
+
+    def test_caterpillar(self):
+        g = generators.caterpillar_graph(5, 2)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_spider(self):
+        g = generators.spider_graph(3, 4)
+        assert g.num_nodes == 13
+        assert g.num_edges == 12
+        assert g.degree(0) == 3
+        assert diameter(g) == 8
+
+    def test_lollipop(self):
+        g = generators.lollipop_graph(5, 10)
+        assert g.num_nodes == 15
+        assert is_connected(g)
+        assert g.num_edges == 10 + 10  # clique edges + tail edges
+
+    def test_barbell(self):
+        g = generators.barbell_graph(4, 3)
+        assert g.num_nodes == 11
+        assert is_connected(g)
+
+
+class TestIntersectionFamilies:
+    def test_interval_graph_manual(self):
+        intervals = [(0, 2), (1, 3), (4, 5)]
+        g = generators.interval_graph(intervals)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_interval_graph_invalid_interval(self):
+        with pytest.raises(ValueError):
+            generators.interval_graph([(2, 1)])
+
+    def test_random_interval_graph_connected(self):
+        g, intervals = generators.random_interval_graph(60, seed=3)
+        assert g.num_nodes == 60
+        assert len(intervals) == 60
+        assert is_connected(g)
+
+    def test_random_interval_graph_matches_model(self):
+        g, intervals = generators.random_interval_graph(40, seed=5)
+        regenerated = generators.interval_graph(intervals)
+        assert g.same_structure(regenerated)
+
+    def test_permutation_graph_inversions(self):
+        g = generators.permutation_graph([2, 0, 1])
+        # positions (0,1): 2>0 edge; (0,2): 2>1 edge; (1,2): 0<1 no edge.
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_permutation_graph_identity_has_no_edges(self):
+        g = generators.permutation_graph(list(range(6)))
+        assert g.num_edges == 0
+
+    def test_permutation_graph_requires_permutation(self):
+        with pytest.raises(ValueError):
+            generators.permutation_graph([0, 0, 1])
+
+    def test_random_permutation_graph_connected(self):
+        g, perm = generators.random_permutation_graph(80, seed=11)
+        assert g.num_nodes == 80
+        assert sorted(perm) == list(range(80))
+        assert is_connected(g)
+
+
+class TestRandomModels:
+    def test_random_tree_is_tree(self):
+        g = generators.random_tree(50, seed=1)
+        assert g.num_edges == 49
+        assert is_connected(g)
+
+    def test_random_tree_small_cases(self):
+        assert generators.random_tree(1).num_nodes == 1
+        g2 = generators.random_tree(2)
+        assert g2.num_edges == 1
+        g3 = generators.random_tree(3, seed=0)
+        assert g3.num_edges == 2
+
+    def test_random_tree_deterministic_with_seed(self):
+        a = generators.random_tree(30, seed=9)
+        b = generators.random_tree(30, seed=9)
+        assert a.same_structure(b)
+
+    def test_erdos_renyi_connected_patch(self):
+        g = generators.erdos_renyi_graph(40, 0.02, seed=2, connect=True)
+        assert is_connected(g)
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi_graph(10, 1.5)
+
+    def test_erdos_renyi_dense(self):
+        g = generators.erdos_renyi_graph(20, 1.0, seed=1, connect=False)
+        assert g.num_edges == 190
+
+    def test_watts_strogatz_degree_and_connectivity(self):
+        g = generators.watts_strogatz_graph(64, 4, 0.1, seed=4)
+        assert g.num_nodes == 64
+        assert is_connected(g)
+        # Average degree stays close to k.
+        assert 3.0 <= g.degrees().mean() <= 4.5
+
+    def test_watts_strogatz_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            generators.watts_strogatz_graph(16, 3, 0.1)
+
+    def test_watts_strogatz_zero_beta_is_ring_lattice(self):
+        g = generators.watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_random_regular(self):
+        g = generators.random_regular_graph(30, 3, seed=8)
+        assert all(g.degree(v) == 3 for v in range(30))
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(9, 3)
+
+    def test_random_regular_degree_too_large(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(4, 4)
+
+    def test_seeded_generators_are_deterministic(self):
+        for factory in (
+            lambda s: generators.erdos_renyi_graph(30, 0.1, seed=s),
+            lambda s: generators.watts_strogatz_graph(30, 4, 0.2, seed=s),
+            lambda s: generators.random_interval_graph(30, seed=s)[0],
+        ):
+            assert factory(5).same_structure(factory(5))

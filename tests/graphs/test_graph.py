@@ -1,0 +1,136 @@
+"""Unit tests for the CSR Graph type."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph.from_edges(3, [(0, 0)])
+
+    def test_from_edges_rejects_duplicate(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 5)])
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_zero_node_graph(self):
+        g = Graph.empty(0)
+        assert g.num_nodes == 0
+
+    def test_csr_validation_detects_asymmetry(self):
+        # Arc 0->1 without the reverse arc.
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph(indptr, indices)
+
+    def test_csr_validation_detects_unsorted_neighbours(self):
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([2, 1, 0, 0])
+        with pytest.raises(ValueError):
+            Graph(indptr, indices)
+
+    def test_indptr_must_match_indices(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2]), np.array([1]))
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph.from_edges(5, [(0, 3), (0, 1), (0, 4)])
+        assert list(g.neighbors(0)) == [1, 3, 4]
+
+    def test_degree_and_degrees(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert list(g.degrees()) == [3, 1, 1, 1]
+
+    def test_has_edge(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_edges_iteration_is_canonical(self):
+        edges = [(0, 1), (1, 2), (0, 3)]
+        g = Graph.from_edges(4, edges)
+        assert sorted(g.edges()) == sorted(edges)
+        assert all(u < v for u, v in g.edges())
+
+    def test_edge_list_matches_num_edges(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+        assert len(g.edge_list()) == g.num_edges
+
+    def test_neighbors_view_is_read_only(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            g.neighbors(1)[0] = 7
+
+    def test_adjacency_sets(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.adjacency_sets() == [{1}, {0, 2}, {1}]
+
+    def test_node_index_validation(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.degree(3)
+        with pytest.raises(ValueError):
+            g.neighbors(-1)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induced(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        sub, mapping = g.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2  # edges (0,1) and (1,2)
+        assert list(mapping) == [0, 1, 2]
+
+    def test_subgraph_remaps_indices(self):
+        g = Graph.from_edges(5, [(2, 4), (2, 3)])
+        sub, mapping = g.subgraph([2, 3, 4])
+        assert set(sub.edges()) == {(0, 1), (0, 2)}
+        assert list(mapping) == [2, 3, 4]
+
+    def test_relabel_roundtrip(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        perm = [3, 2, 1, 0]
+        h = g.relabel(perm)
+        assert h.num_edges == g.num_edges
+        assert h.has_edge(3, 2) and h.has_edge(2, 1) and h.has_edge(1, 0)
+
+    def test_relabel_requires_permutation(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.relabel([0, 0, 1])
+
+    def test_with_name(self):
+        g = Graph.from_edges(2, [(0, 1)], name="a")
+        h = g.with_name("b")
+        assert h.name == "b"
+        assert h.same_structure(g)
+
+    def test_same_structure(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        h = Graph.from_edges(3, [(1, 2), (0, 1)])
+        assert g.same_structure(h)
+        k = Graph.from_edges(3, [(0, 1)])
+        assert not g.same_structure(k)

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators
+from repro.graphs.balls import ball
+from repro.graphs.components import connected_components
+from repro.graphs.distances import UNREACHABLE, bfs_distances
+from repro.graphs.graph import Graph
+
+
+@st.composite
+def random_graphs(draw):
+    """Random simple graphs with 2..24 nodes."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=3 * n, unique=True))
+    return Graph.from_edges(n, edges)
+
+
+@st.composite
+def connected_random_graphs(draw):
+    """Random connected graphs: a random tree plus random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = set()
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        edges.add((u, v))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        a, b = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return Graph.from_edges(n, sorted(edges))
+
+
+class TestGraphInvariants:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, g):
+        assert int(g.degrees().sum()) == 2 * g.num_edges
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_symmetry(self, g):
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_nodes(self, g):
+        comps = connected_components(g)
+        all_nodes = sorted(int(v) for comp in comps for v in comp)
+        assert all_nodes == list(range(g.num_nodes))
+
+    @given(random_graphs(), st.integers(min_value=0, max_value=23))
+    @settings(max_examples=60, deadline=None)
+    def test_relabel_preserves_degree_multiset(self, g, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.num_nodes)
+        h = g.relabel(perm)
+        assert sorted(g.degrees()) == sorted(h.degrees())
+
+
+class TestDistanceInvariants:
+    @given(connected_random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality_from_two_sources(self, g):
+        d0 = bfs_distances(g, 0)
+        d1 = bfs_distances(g, g.num_nodes - 1)
+        base = d0[g.num_nodes - 1]
+        for v in range(g.num_nodes):
+            assert base <= d0[v] + d1[v]
+
+    @given(connected_random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_bfs_neighbour_consistency(self, g):
+        dist = bfs_distances(g, 0)
+        for u, v in g.edges():
+            assert abs(int(dist[u]) - int(dist[v])) <= 1
+
+    @given(connected_random_graphs(), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_ball_monotone_in_radius(self, g, radius):
+        center = 0
+        smaller = set(map(int, ball(g, center, radius)))
+        larger = set(map(int, ball(g, center, radius + 1)))
+        assert smaller <= larger
+
+    @given(connected_random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_all_reachable_in_connected_graph(self, g):
+        dist = bfs_distances(g, 0)
+        assert not np.any(dist == UNREACHABLE)
+
+
+class TestGeneratorProperties:
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_path_diameter_is_n_minus_1(self, n):
+        g = generators.path_graph(n)
+        dist = bfs_distances(g, 0)
+        assert int(dist.max()) == n - 1
+
+    @given(st.integers(min_value=3, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_edge_count(self, n):
+        g = generators.cycle_graph(n)
+        assert g.num_edges == n
+
+    @given(st.integers(min_value=2, max_value=100), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_tree_always_tree(self, n, seed):
+        g = generators.random_tree(n, seed=seed)
+        assert g.num_edges == n - 1
+        assert len(connected_components(g)) == 1

@@ -1,0 +1,113 @@
+"""End-to-end integration tests exercising the whole pipeline.
+
+These check qualitative properties of the reproduced results at moderate
+sizes with fixed seeds (kept deliberately loose so they are robust to
+sampling noise while still failing if a scheme stops working).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BallScheme,
+    Theorem2Scheme,
+    UniformScheme,
+    estimate_greedy_diameter,
+    generators,
+    make_scheme,
+)
+from repro.analysis.scaling import fit_power_law
+from repro.core.base import AugmentedGraph
+from repro.graphs.distances import bfs_distances, diameter
+from repro.routing.greedy import greedy_route
+
+
+class TestPublicApiQuickstart:
+    def test_readme_quickstart_flow(self):
+        g = generators.cycle_graph(256)
+        scheme = BallScheme(g, seed=1)
+        result = estimate_greedy_diameter(g, scheme, num_pairs=8, trials=6, seed=2)
+        assert 0 < result.diameter < 128
+        assert result.mean <= result.diameter
+
+    def test_registry_round_trip(self):
+        g = generators.random_tree(128, seed=0)
+        for name in ("uniform", "ball", "theorem2", "kleinberg"):
+            scheme = make_scheme(name, g, seed=3)
+            estimate = estimate_greedy_diameter(g, scheme, num_pairs=4, trials=4, seed=4)
+            assert estimate.diameter <= diameter(g)
+
+    def test_augmented_graph_routing_manual(self):
+        g = generators.cycle_graph(64)
+        scheme = UniformScheme(g, seed=5)
+        aug = AugmentedGraph.from_scheme(scheme, rng=6)
+        dist = bfs_distances(g, 32)
+        result = greedy_route(g, dist, 0, 32, aug.contact)
+        assert result.success
+        assert result.steps <= 32
+
+
+class TestSchemesImproveOverNoAugmentation:
+    def test_every_scheme_beats_walking_on_large_ring(self):
+        g = generators.cycle_graph(512)
+        walking = 256  # graph distance between antipodal nodes
+        for name in ("uniform", "ball", "theorem2"):
+            scheme = make_scheme(name, g, seed=1)
+            estimate = estimate_greedy_diameter(g, scheme, num_pairs=4, trials=8, seed=2)
+            assert estimate.diameter < 0.5 * walking, name
+
+    def test_ball_scheme_beats_uniform_on_large_ring(self):
+        # Theorem 4's headline: ~n^(1/3) vs ~n^(1/2).  At n = 2048 the gap is
+        # large enough to be visible despite Monte-Carlo noise.
+        g = generators.cycle_graph(2048)
+        uniform = estimate_greedy_diameter(
+            g, UniformScheme(g, seed=1), num_pairs=4, trials=8, seed=3
+        )
+        ball = estimate_greedy_diameter(g, BallScheme(g, seed=1), num_pairs=4, trials=8, seed=3)
+        assert ball.diameter < uniform.diameter
+
+    def test_uniform_scaling_exponent_near_half_on_rings(self):
+        sizes = [128, 256, 512, 1024]
+        values = []
+        for n in sizes:
+            g = generators.cycle_graph(n)
+            est = estimate_greedy_diameter(
+                g, UniformScheme(g, seed=1), num_pairs=4, trials=8, seed=n
+            )
+            values.append(est.diameter)
+        fit = fit_power_law(sizes, values)
+        assert 0.3 <= fit.exponent <= 0.7
+
+    def test_kleinberg_critical_exponent_beats_overly_local_links_on_torus(self):
+        # At simulation sizes the r=2 vs r=0 crossover is not yet visible
+        # (both are ~10 steps on a 24x24 torus); the robust finite-size
+        # signature of Kleinberg's dichotomy is that the critical exponent
+        # clearly beats overly local links (large r), which barely shortcut.
+        g = generators.torus_graph([24, 24])
+        critical = estimate_greedy_diameter(
+            g, make_scheme("kleinberg", g, exponent=2.0, seed=1), num_pairs=4, trials=6, seed=5
+        )
+        too_local = estimate_greedy_diameter(
+            g, make_scheme("kleinberg", g, exponent=4.0, seed=1), num_pairs=4, trials=6, seed=5
+        )
+        assert critical.diameter <= too_local.diameter
+
+
+class TestTheorem2Pipeline:
+    def test_theorem2_on_interval_graph_with_exact_decomposition(self):
+        from repro.decomposition.exact import path_decomposition_of_interval_graph
+
+        graph, intervals = generators.random_interval_graph(200, seed=4)
+        pd = path_decomposition_of_interval_graph(intervals)
+        scheme = Theorem2Scheme(graph, pd, seed=1)
+        estimate = estimate_greedy_diameter(graph, scheme, num_pairs=4, trials=6, seed=6)
+        assert estimate.diameter <= diameter(graph)
+        assert scheme.witnessed_shape(compute_length=True) <= 2
+
+    def test_ancestor_component_shortcuts_on_long_path(self):
+        g = generators.path_graph(1024)
+        ancestor_only = Theorem2Scheme(g, uniform_mixture=0.0, seed=1)
+        estimate = estimate_greedy_diameter(g, ancestor_only, num_pairs=4, trials=6, seed=7)
+        # Walking would take up to 1023 steps; the dyadic ancestor jumps must
+        # cut this down by a large factor.
+        assert estimate.diameter < 250

@@ -1,0 +1,129 @@
+"""Unit tests for the greedy routing step."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.distances import bfs_distances
+from repro.routing.greedy import greedy_route
+
+
+def no_contacts(u):
+    return None
+
+
+class TestGreedyRouteWithoutLongLinks:
+    def test_follows_shortest_path_on_path_graph(self):
+        g = generators.path_graph(10)
+        dist = bfs_distances(g, 9)
+        result = greedy_route(g, dist, 0, 9, no_contacts)
+        assert result.success
+        assert result.steps == 9
+        assert result.long_links_used == 0
+
+    def test_route_length_equals_distance_without_links(self, small_graphs):
+        for g in small_graphs:
+            target = g.num_nodes - 1
+            dist = bfs_distances(g, target)
+            for source in range(0, g.num_nodes, 3):
+                result = greedy_route(g, dist, source, target, no_contacts)
+                assert result.success
+                assert result.steps == dist[source]
+
+    def test_source_equals_target(self, cycle12):
+        dist = bfs_distances(cycle12, 4)
+        result = greedy_route(cycle12, dist, 4, 4, no_contacts)
+        assert result.success
+        assert result.steps == 0
+
+    def test_record_path(self):
+        g = generators.path_graph(5)
+        dist = bfs_distances(g, 4)
+        result = greedy_route(g, dist, 0, 4, no_contacts, record_path=True)
+        assert result.path == [0, 1, 2, 3, 4]
+
+    def test_local_links_used_property(self):
+        g = generators.path_graph(6)
+        dist = bfs_distances(g, 5)
+        result = greedy_route(g, dist, 0, 5, no_contacts)
+        assert result.local_links_used == result.steps
+
+
+class TestGreedyRouteWithLongLinks:
+    def test_long_link_shortcuts(self):
+        g = generators.path_graph(100)
+        dist = bfs_distances(g, 99)
+
+        def contact(u):
+            return 90 if u == 0 else None
+
+        result = greedy_route(g, dist, 0, 99, contact)
+        assert result.success
+        assert result.steps == 1 + 9  # jump to 90, then walk
+        assert result.long_links_used == 1
+
+    def test_long_link_ignored_when_not_closer(self):
+        g = generators.path_graph(20)
+        dist = bfs_distances(g, 19)
+
+        def contact(u):
+            return 0  # always points away from the target
+
+        result = greedy_route(g, dist, 10, 19, contact)
+        assert result.steps == 9
+        assert result.long_links_used == 0
+
+    def test_self_contact_ignored(self):
+        g = generators.path_graph(10)
+        dist = bfs_distances(g, 9)
+        result = greedy_route(g, dist, 0, 9, lambda u: u)
+        assert result.success
+        assert result.long_links_used == 0
+
+    def test_distance_strictly_decreases(self):
+        g = generators.grid_graph([6, 6])
+        dist = bfs_distances(g, 35)
+        rng = np.random.default_rng(0)
+
+        def contact(u):
+            return int(rng.integers(0, 36))
+
+        result = greedy_route(g, dist, 0, 35, contact, record_path=True)
+        assert result.success
+        distances_along_route = [dist[v] for v in result.path]
+        assert all(b < a for a, b in zip(distances_along_route, distances_along_route[1:]))
+
+    def test_steps_never_exceed_graph_distance(self, small_graphs):
+        rng = np.random.default_rng(1)
+        for g in small_graphs:
+            target = 0
+            dist = bfs_distances(g, target)
+
+            def contact(u):
+                return int(rng.integers(0, g.num_nodes))
+
+            for source in range(g.num_nodes):
+                result = greedy_route(g, dist, source, target, contact)
+                assert result.success
+                assert result.steps <= dist[source]
+
+
+class TestValidation:
+    def test_unreachable_target_rejected(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        dist = bfs_distances(g, 3)
+        with pytest.raises(ValueError):
+            greedy_route(g, dist, 0, 3, no_contacts)
+
+    def test_wrong_distance_array_shape(self, path8):
+        with pytest.raises(ValueError):
+            greedy_route(path8, np.zeros(3), 0, 7, no_contacts)
+
+    def test_max_steps_reports_failure(self):
+        g = generators.path_graph(50)
+        dist = bfs_distances(g, 49)
+        result = greedy_route(g, dist, 0, 49, no_contacts, max_steps=5)
+        assert not result.success
+        assert result.steps == 5

@@ -1,0 +1,55 @@
+"""Unit tests for pair samplers."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.distances import bfs_distances, diameter
+from repro.routing.sampling import all_pairs, extremal_pairs, uniform_pairs
+
+
+class TestUniformPairs:
+    def test_count_and_distinctness(self, cycle12):
+        pairs = uniform_pairs(cycle12, 20, seed=0)
+        assert len(pairs) == 20
+        assert all(s != t for s, t in pairs)
+        assert all(0 <= s < 12 and 0 <= t < 12 for s, t in pairs)
+
+    def test_deterministic_with_seed(self, cycle12):
+        assert uniform_pairs(cycle12, 5, seed=3) == uniform_pairs(cycle12, 5, seed=3)
+
+    def test_requires_two_nodes(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(ValueError):
+            uniform_pairs(Graph.empty(1), 3)
+
+
+class TestExtremalPairs:
+    def test_first_pair_attains_diameter_on_path(self):
+        g = generators.path_graph(30)
+        pairs = extremal_pairs(g, 4, seed=0)
+        s, t = pairs[0]
+        assert bfs_distances(g, s)[t] == 29
+
+    def test_pairs_are_far_apart(self, grid4x4):
+        pairs = extremal_pairs(grid4x4, 6, seed=1)
+        d = diameter(grid4x4)
+        for s, t in pairs:
+            assert bfs_distances(grid4x4, s)[t] >= d // 2
+
+    def test_requested_count_respected(self, cycle12):
+        assert len(extremal_pairs(cycle12, 7, seed=2)) == 7
+
+    def test_includes_reverse_directions(self):
+        g = generators.path_graph(16)
+        pairs = extremal_pairs(g, 6, seed=0)
+        forward = {(s, t) for s, t in pairs}
+        assert any((t, s) in forward for s, t in forward)
+
+
+class TestAllPairs:
+    def test_all_ordered_pairs(self, path8):
+        pairs = all_pairs(path8)
+        assert len(pairs) == 8 * 7
+        assert (0, 7) in pairs and (7, 0) in pairs
+        assert (3, 3) not in pairs

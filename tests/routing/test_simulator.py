@@ -1,0 +1,100 @@
+"""Unit tests for the Monte-Carlo routing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.uniform import UniformScheme
+from repro.core.ball_scheme import BallScheme
+from repro.graphs import generators
+from repro.graphs.distances import diameter
+from repro.routing.simulator import estimate_expected_steps, estimate_greedy_diameter
+
+
+class TestEstimateExpectedSteps:
+    def test_basic_estimate_structure(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate = estimate_expected_steps(cycle12, scheme, [(0, 6), (3, 9)], trials=8, seed=1)
+        assert len(estimate.pairs) == 2
+        assert estimate.trials == 8
+        assert estimate.diameter >= estimate.pairs[0].mean or estimate.diameter >= estimate.pairs[1].mean
+        assert 0.0 <= estimate.long_link_fraction <= 1.0
+
+    def test_steps_bounded_by_graph_distance(self, grid4x4):
+        scheme = UniformScheme(grid4x4, seed=0)
+        estimate = estimate_expected_steps(grid4x4, scheme, [(0, 15)], trials=16, seed=2)
+        pair = estimate.pairs[0]
+        assert pair.graph_distance == 6
+        assert pair.stats.maximum <= 6
+        assert pair.mean <= 6
+
+    def test_deterministic_given_seed(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        a = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=8, seed=3)
+        b = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=8, seed=3)
+        assert a.mean == b.mean
+        assert a.diameter == b.diameter
+
+    def test_different_seeds_differ(self):
+        g = generators.cycle_graph(128)
+        scheme = UniformScheme(g, seed=0)
+        a = estimate_expected_steps(g, scheme, [(0, 64)], trials=8, seed=3)
+        b = estimate_expected_steps(g, scheme, [(0, 64)], trials=8, seed=4)
+        assert a.mean != b.mean
+
+    def test_empty_pairs_rejected(self, cycle12):
+        with pytest.raises(ValueError):
+            estimate_expected_steps(cycle12, UniformScheme(cycle12), [], trials=4)
+
+    def test_scheme_graph_mismatch_rejected(self, cycle12, path8):
+        scheme = UniformScheme(path8, seed=0)
+        with pytest.raises(ValueError):
+            estimate_expected_steps(cycle12, scheme, [(0, 5)], trials=2)
+
+    def test_mean_consistent_with_pairs(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate = estimate_expected_steps(cycle12, scheme, [(0, 6), (1, 7)], trials=4, seed=5)
+        assert estimate.diameter == pytest.approx(max(p.mean for p in estimate.pairs))
+        assert estimate.max_pair is not None
+        assert estimate.max_pair.mean == estimate.diameter
+
+    def test_as_dict(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=2, seed=0)
+        d = estimate.as_dict()
+        assert d["num_pairs"] == 1
+        assert d["trials"] == 2
+
+
+class TestEstimateGreedyDiameter:
+    def test_extremal_strategy(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate = estimate_greedy_diameter(cycle12, scheme, num_pairs=4, trials=4, seed=1)
+        assert len(estimate.pairs) == 4
+        assert estimate.diameter <= diameter(cycle12)
+
+    def test_uniform_strategy(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate = estimate_greedy_diameter(
+            cycle12, scheme, num_pairs=4, trials=4, seed=1, pair_strategy="uniform"
+        )
+        assert len(estimate.pairs) == 4
+
+    def test_unknown_strategy_rejected(self, cycle12):
+        with pytest.raises(ValueError):
+            estimate_greedy_diameter(
+                cycle12, UniformScheme(cycle12), num_pairs=2, trials=2, pair_strategy="bogus"
+            )
+
+    def test_long_links_actually_used_on_large_ring(self):
+        g = generators.cycle_graph(256)
+        scheme = UniformScheme(g, seed=0)
+        estimate = estimate_greedy_diameter(g, scheme, num_pairs=4, trials=6, seed=2)
+        assert estimate.long_link_fraction > 0.0
+        # The augmentation must beat plain shortest-path routing on a big ring.
+        assert estimate.diameter < 128
+
+    def test_ball_scheme_beats_no_augmentation(self):
+        g = generators.cycle_graph(256)
+        scheme = BallScheme(g, seed=0)
+        estimate = estimate_greedy_diameter(g, scheme, num_pairs=4, trials=6, seed=2)
+        assert estimate.diameter < 128

@@ -1,0 +1,55 @@
+"""Unit tests for routing summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.routing.statistics import bootstrap_mean_ci, summarize
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.mean == 3.0
+        assert stats.minimum == 1 and stats.maximum == 5
+        assert stats.count == 5
+        assert stats.ci95_low < 3.0 < stats.ci95_high
+
+    def test_single_sample(self):
+        stats = summarize([7.0])
+        assert stats.mean == 7.0
+        assert stats.std == 0.0
+        assert stats.ci95_low == stats.ci95_high == 7.0
+
+    def test_constant_samples(self):
+        stats = summarize([4, 4, 4, 4])
+        assert stats.std == 0.0
+        assert stats.ci95_low == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1, 2]).as_dict()
+        assert set(d) == {"mean", "std", "min", "max", "count", "ci95_low", "ci95_high"}
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_for_well_behaved_sample(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=200)
+        low, high = bootstrap_mean_ci(samples, seed=1)
+        assert low < samples.mean() < high
+        assert high - low < 2.0
+
+    def test_deterministic_with_seed(self):
+        samples = [1, 2, 3, 4, 5, 6]
+        assert bootstrap_mean_ci(samples, seed=2) == bootstrap_mean_ci(samples, seed=2)
+
+    def test_confidence_bounds_validated(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1, 2, 3], confidence=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])

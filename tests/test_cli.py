@@ -1,0 +1,58 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import GRAPH_FAMILIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_graph_defaults(self):
+        args = build_parser().parse_args(["graph", "ring"])
+        assert args.family == "ring"
+        assert args.size == 256
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph", "hypertorus"])
+
+    def test_all_families_constructible(self):
+        for family, factory in GRAPH_FAMILIES.items():
+            graph = factory(32, 1)
+            assert graph.num_nodes >= 8, family
+
+
+class TestCommands:
+    def test_graph_command(self, capsys):
+        assert main(["graph", "ring", "--size", "64", "--diameter"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "64" in out
+        assert "diameter" in out
+
+    def test_pathshape_command(self, capsys):
+        assert main(["pathshape", "path", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "pathshape" in out
+        assert "winning strategy" in out
+
+    def test_route_command(self, capsys):
+        code = main(
+            ["route", "ring", "--size", "128", "--pairs", "3", "--trials", "3",
+             "--schemes", "uniform", "ball"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "ball" in out
+        assert "greedy diameter" in out
+
+    def test_experiment_command_single(self, capsys):
+        code = main(["experiment", "--only", "EXP-1", "--quick", "--markdown"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXP-1" in out
+
+    def test_experiment_command_no_match(self, capsys):
+        assert main(["experiment", "--only", "EXP-99", "--quick"]) == 1

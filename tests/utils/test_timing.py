@@ -1,0 +1,31 @@
+"""Unit tests for timing helpers."""
+
+from repro.utils.timing import StageTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10_000))
+        assert t.elapsed >= 0.0
+
+
+class TestStageTimer:
+    def test_records_stages_in_order(self):
+        timer = StageTimer()
+        with timer.time("first"):
+            pass
+        with timer.time("second"):
+            pass
+        with timer.time("first"):
+            pass
+        assert timer.order == ["first", "second"]
+        assert timer.total() >= 0.0
+
+    def test_report_mentions_all_stages(self):
+        timer = StageTimer()
+        with timer.time("alpha"):
+            pass
+        report = timer.report()
+        assert "alpha" in report
+        assert "total" in report

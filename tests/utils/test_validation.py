@@ -1,0 +1,59 @@
+"""Unit tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import check_node_index, check_positive_int, check_probabilities
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int_and_numpy_int(self):
+        assert check_positive_int(3, "x") == 3
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "x")
+
+
+class TestCheckNodeIndex:
+    def test_in_range(self):
+        assert check_node_index(2, 5) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_node_index(5, 5)
+        with pytest.raises(ValueError):
+            check_node_index(-1, 5)
+
+    def test_type(self):
+        with pytest.raises(TypeError):
+            check_node_index("a", 5)
+
+
+class TestCheckProbabilities:
+    def test_valid_vector(self):
+        arr = check_probabilities([0.2, 0.3])
+        assert arr.tolist() == [0.2, 0.3]
+
+    def test_requires_one_dimension(self):
+        with pytest.raises(ValueError):
+            check_probabilities(np.zeros((2, 2)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_probabilities([-0.1, 0.5])
+
+    def test_sum_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_probabilities([0.7, 0.7])
+
+    def test_stochastic_requirement(self):
+        with pytest.raises(ValueError):
+            check_probabilities([0.2, 0.3], require_stochastic=True)
+        check_probabilities([0.5, 0.5], require_stochastic=True)
