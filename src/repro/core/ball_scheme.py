@@ -22,7 +22,9 @@ shows is unavoidable for name-independent (a-priori) schemes.
 Implementation notes
 --------------------
 * The simulator only ever needs contacts of *visited* nodes, so the BFS from
-  ``u`` required to enumerate ``B(u, 2^k)`` is performed lazily and cached.
+  ``u`` required to enumerate ``B(u, 2^k)`` is performed lazily and memoised
+  in a :class:`repro.graphs.oracle.DistanceOracle` — pass the experiment's
+  shared oracle to pool those arrays with the routing simulator's.
 * ``radius_distribution`` lets experiments reweight the choice of ``k`` (the
   paper's ablation question: how much does the uniform-in-``k`` mixture
   matter?).  The default is the paper's uniform distribution.
@@ -31,13 +33,14 @@ Implementation notes
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.base import AugmentationScheme
-from repro.graphs.distances import UNREACHABLE, bfs_distances
+from repro.graphs.distances import UNREACHABLE
 from repro.graphs.graph import Graph
+from repro.graphs.oracle import DistanceOracle
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_node_index
 
@@ -58,6 +61,11 @@ class BallScheme(AugmentationScheme):
         to uniform.  Used by the ablation benchmarks.
     seed:
         Seed for the internal generator.
+    oracle:
+        Optional shared :class:`~repro.graphs.oracle.DistanceOracle`.  Pass
+        the experiment-wide oracle so the scheme's ball lookups reuse the BFS
+        arrays the routing simulator already computed (and vice versa); by
+        default the scheme creates a private unbounded oracle.
     """
 
     scheme_name = "ball"
@@ -69,6 +77,7 @@ class BallScheme(AugmentationScheme):
         num_levels: Optional[int] = None,
         radius_distribution: Optional[Sequence[float]] = None,
         seed: RngLike = None,
+        oracle: Optional[DistanceOracle] = None,
     ) -> None:
         super().__init__(graph, seed=seed)
         n = graph.num_nodes
@@ -88,7 +97,9 @@ class BallScheme(AugmentationScheme):
                 raise ValueError("radius_distribution must be a probability vector")
             self._level_probs = probs
         self._level_cumulative = np.cumsum(self._level_probs)
-        self._dist_cache: Dict[int, np.ndarray] = {}
+        if oracle is not None and oracle.graph is not graph and not oracle.graph.same_structure(graph):
+            raise ValueError("oracle was built for a different graph")
+        self._oracle = oracle if oracle is not None else DistanceOracle(graph)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -110,23 +121,34 @@ class BallScheme(AugmentationScheme):
             f"(n={self.graph.num_nodes})"
         )
 
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The distance oracle backing the scheme's ball lookups."""
+        return self._oracle
+
     def reset_cache(self) -> None:
-        self._dist_cache.clear()
+        """Drop the backing oracle's cached BFS arrays.
+
+        Note: when the scheme was built with a shared ``oracle=`` this clears
+        that oracle for *every* subsystem pooling it (e.g. the routing
+        simulator's per-target arrays), not just this scheme's entries.
+        """
+        self._oracle.clear()
 
     def cache_size(self) -> int:
-        """Number of cached single-source BFS arrays (for memory accounting)."""
-        return len(self._dist_cache)
+        """Number of BFS arrays in the backing oracle (for memory accounting).
+
+        With a shared ``oracle=`` this counts entries from every pooled
+        subsystem, not only those created by this scheme.
+        """
+        return self._oracle.cache_size()
 
     # ------------------------------------------------------------------ #
     # Sampling
     # ------------------------------------------------------------------ #
 
     def _distances_from(self, node: int) -> np.ndarray:
-        dist = self._dist_cache.get(node)
-        if dist is None:
-            dist = bfs_distances(self._graph, node)
-            self._dist_cache[node] = dist
-        return dist
+        return self._oracle.distances_from(node)
 
     def sample_level(self, rng: Optional[np.random.Generator] = None) -> int:
         """Draw the level ``k ∈ {1, …, num_levels}`` from the level distribution."""

@@ -6,51 +6,21 @@
 * ``shape(X) = min(width(X), length(X))`` — the new measure the paper builds
   the (M, L) scheme on.
 
-Length needs graph distances; to avoid recomputing BFS for overlapping bags,
-:class:`DistanceOracle` memoises single-source BFS runs.
+Length needs graph distances; to avoid recomputing BFS for overlapping bags
+the decomposition code shares the repo-wide
+:class:`repro.graphs.oracle.DistanceOracle` (re-exported here for backwards
+compatibility — this module used to define its own local cache before the
+oracle became a shared subsystem backed by the vectorized frontier engine).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import FrozenSet, Iterable, Optional
 
-import numpy as np
-
-from repro.graphs.distances import UNREACHABLE, bfs_distances
-from repro.graphs.graph import Graph
+from repro.graphs.distances import UNREACHABLE
+from repro.graphs.oracle import DistanceOracle
 
 __all__ = ["DistanceOracle", "bag_width", "bag_length", "bag_shape"]
-
-
-class DistanceOracle:
-    """Memoised single-source BFS oracle.
-
-    ``oracle(u, v)`` returns ``dist_G(u, v)``; each distinct source costs one
-    BFS, cached for the lifetime of the oracle.
-    """
-
-    def __init__(self, graph: Graph) -> None:
-        self._graph = graph
-        self._cache: Dict[int, np.ndarray] = {}
-
-    @property
-    def graph(self) -> Graph:
-        return self._graph
-
-    def distances_from(self, u: int) -> np.ndarray:
-        """Full distance array from *u* (cached)."""
-        arr = self._cache.get(u)
-        if arr is None:
-            arr = bfs_distances(self._graph, u)
-            self._cache[u] = arr
-        return arr
-
-    def __call__(self, u: int, v: int) -> int:
-        return int(self.distances_from(int(u))[int(v)])
-
-    def cache_size(self) -> int:
-        """Number of BFS runs performed so far."""
-        return len(self._cache)
 
 
 def bag_width(bag: Iterable[int]) -> int:

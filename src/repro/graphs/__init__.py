@@ -11,7 +11,13 @@ provides:
   (paths, cycles, d-dimensional meshes/tori, trees, caterpillars, interval and
   permutation graphs as AT-free representatives, …) plus standard random
   models used as controls,
-* :mod:`~repro.graphs.distances` — BFS, truncated BFS, APSP, eccentricities,
+* :mod:`~repro.graphs.frontier` — the vectorized, level-synchronous BFS
+  engine (single-source, multi-source, cutoff and batched multi-row sweeps),
+* :mod:`~repro.graphs.distances` — BFS, truncated BFS, APSP, eccentricities
+  (thin wrappers over the frontier engine),
+* :mod:`~repro.graphs.oracle` — :class:`~repro.graphs.oracle.DistanceOracle`,
+  the shared LRU-capped memoisation layer used by the simulator, the ball
+  scheme and the decomposition measures,
 * :mod:`~repro.graphs.balls` — balls ``B(u, r)`` and node ranks used by the
   Theorem-4 scheme.
 """
@@ -25,6 +31,8 @@ from repro.graphs.distances import (
     eccentricity,
     diameter,
 )
+from repro.graphs.frontier import bfs_distances_many
+from repro.graphs.oracle import DistanceOracle
 from repro.graphs.balls import ball, ball_sizes
 from repro.graphs.components import connected_components, is_connected
 
@@ -33,6 +41,8 @@ __all__ = [
     "GraphBuilder",
     "generators",
     "bfs_distances",
+    "bfs_distances_many",
+    "DistanceOracle",
     "distance_matrix",
     "eccentricity",
     "diameter",

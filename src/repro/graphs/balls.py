@@ -6,6 +6,13 @@ contact uniform in ``B(u, 2^k)``.  The proof additionally uses the *rank*
 ``r(v)`` of a node (smallest ``k`` with ``v ∈ B_k(u)``), which
 :func:`ball_ranks` exposes so the exact contact distribution can be computed
 and tested against the sampling implementation.
+
+All functions run on the vectorized frontier BFS engine
+(:mod:`repro.graphs.frontier`, via :func:`repro.graphs.distances.bfs_distances`);
+truncated searches (``ball``, ``ball_sizes``) cost ``O(|B(center, r)|)`` edge
+scans.  Experiment-scoped callers that query many balls around the same
+centres should go through :class:`repro.graphs.oracle.DistanceOracle`, which
+memoises the underlying BFS arrays.
 """
 
 from __future__ import annotations
@@ -71,16 +78,13 @@ def ball_ranks(graph: Graph, center: int, *, num_levels: int) -> np.ndarray:
         raise ValueError("num_levels must be at least 1")
     dist = bfs_distances(graph, center)
     ranks = np.full(graph.num_nodes, num_levels + 1, dtype=np.int64)
-    for v in range(graph.num_nodes):
-        d = dist[v]
-        if d == UNREACHABLE:
-            continue
-        if d <= 2:
-            ranks[v] = 1
-        else:
-            ranks[v] = int(np.ceil(np.log2(d)))
-        if ranks[v] > num_levels:
-            ranks[v] = num_levels + 1
+    reachable = dist != UNREACHABLE
+    near = reachable & (dist <= 2)
+    ranks[near] = 1
+    far = reachable & (dist > 2)
+    if np.any(far):
+        far_ranks = np.ceil(np.log2(dist[far])).astype(np.int64)
+        ranks[far] = np.minimum(far_ranks, num_levels + 1)
     return ranks
 
 

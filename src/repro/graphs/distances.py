@@ -4,8 +4,26 @@ Greedy routing only ever needs the distance *to a fixed target*, so the basic
 primitive is a single-source BFS returning a distance array; everything else
 (APSP matrices, eccentricities, diameters) is layered on top of it.
 
+Since the frontier-engine PR the public functions here are thin wrappers over
+:mod:`repro.graphs.frontier`, the vectorized level-synchronous BFS core:
+``bfs_distances`` and ``multi_source_bfs`` delegate to single-frontier sweeps
+and ``distance_matrix`` fills its rows in batches through
+:func:`repro.graphs.frontier.bfs_distances_many`.  The historical pure-Python
+``deque`` traversal is kept as ``legacy_bfs_distances`` — it is the
+readable reference implementation the property tests and the engine benchmark
+compare against, not a hot path.
+
 Distances are returned as ``int64`` arrays with ``UNREACHABLE`` (-1) marking
 nodes outside the source's connected component.
+
+Disconnected-graph contract
+---------------------------
+``eccentricity`` and ``diameter`` (both ``exact=True`` and ``exact=False``)
+raise ``ValueError`` on disconnected graphs — the quantities are undefined
+there and silently returning a within-component value proved error-prone.
+``double_sweep_diameter_lower_bound`` is the one deliberate exception: it is
+*documented* to operate within the start node's component (the pair samplers
+rely on that to find hard pairs without a connectivity precheck).
 """
 
 from __future__ import annotations
@@ -15,6 +33,12 @@ from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.graphs.frontier import (
+    UNREACHABLE,
+    bfs_distances_many,
+    frontier_bfs,
+    frontier_multi_source_bfs,
+)
 from repro.graphs.graph import Graph
 from repro.utils.validation import check_node_index
 
@@ -28,9 +52,12 @@ __all__ = [
     "diameter",
     "farthest_node",
     "double_sweep_diameter_lower_bound",
+    "legacy_bfs_distances",
 ]
 
-UNREACHABLE: int = -1
+#: Row-batch size used by :func:`distance_matrix`; bounds the flat frontier
+#: buffer at ``_BATCH_ROWS * n`` int64 entries regardless of ``n``.
+_BATCH_ROWS: int = 64
 
 
 def bfs_distances(graph: Graph, source: int, *, cutoff: Optional[int] = None) -> np.ndarray:
@@ -46,6 +73,18 @@ def bfs_distances(graph: Graph, source: int, *, cutoff: Optional[int] = None) ->
         Optional radius; nodes strictly beyond it keep ``UNREACHABLE``.
         A truncated BFS costs only ``O(|B(source, cutoff)|)`` edge scans,
         which the Theorem-4 ball scheme relies on.
+    """
+    return frontier_bfs(graph, source, cutoff=cutoff)
+
+
+def legacy_bfs_distances(
+    graph: Graph, source: int, *, cutoff: Optional[int] = None
+) -> np.ndarray:
+    """Reference pure-Python ``deque`` BFS (the pre-frontier implementation).
+
+    Kept for the property tests and ``benchmarks/test_bench_bfs_engine.py``,
+    which assert the vectorized engine is bitwise identical and measure its
+    speedup.  Do not use on hot paths.
     """
     source = check_node_index(source, graph.num_nodes, "source")
     indptr = graph.indptr
@@ -72,6 +111,10 @@ def bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
 
     Returns ``(dist, parent)`` where ``parent[source] == source`` and
     ``parent[v] == -1`` for unreachable nodes.
+
+    The parent array depends on the intra-level visit order, so this keeps
+    the deterministic queue traversal (parents come out in neighbour-list
+    order) rather than delegating to the frontier engine.
     """
     source = check_node_index(source, graph.num_nodes, "source")
     indptr = graph.indptr
@@ -94,35 +137,22 @@ def bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
 
 def multi_source_bfs(graph: Graph, sources: Iterable[int]) -> np.ndarray:
     """Distance from each node to the *nearest* of the given sources."""
-    indptr = graph.indptr
-    indices = graph.indices
-    dist = np.full(graph.num_nodes, UNREACHABLE, dtype=np.int64)
-    queue: deque = deque()
-    for s in sources:
-        s = check_node_index(int(s), graph.num_nodes, "source")
-        if dist[s] == UNREACHABLE:
-            dist[s] = 0
-            queue.append(s)
-    while queue:
-        u = queue.popleft()
-        du = dist[u]
-        for v in indices[indptr[u]: indptr[u + 1]]:
-            if dist[v] == UNREACHABLE:
-                dist[v] = du + 1
-                queue.append(int(v))
-    return dist
+    return frontier_multi_source_bfs(graph, sources)
 
 
 def distance_matrix(graph: Graph) -> np.ndarray:
     """All-pairs shortest-path matrix, ``shape (n, n)``.
 
-    Runs one BFS per node; intended for the moderate sizes used by the
-    decomposition code and the tests (``n`` up to a few thousand).
+    Rows are filled in batches of ``_BATCH_ROWS`` sources through the
+    frontier engine's :func:`~repro.graphs.frontier.bfs_distances_many`, so
+    the cost per row is a share of one level-synchronous sweep rather than a
+    full Python BFS.
     """
     n = graph.num_nodes
     out = np.full((n, n), UNREACHABLE, dtype=np.int64)
-    for u in range(n):
-        out[u] = bfs_distances(graph, u)
+    for lo in range(0, n, _BATCH_ROWS):
+        hi = min(lo + _BATCH_ROWS, n)
+        out[lo:hi] = bfs_distances_many(graph, range(lo, hi))
     return out
 
 
@@ -151,6 +181,11 @@ def double_sweep_diameter_lower_bound(graph: Graph, start: int = 0) -> Tuple[int
     Returns ``(u, v, d)`` — a pair of nodes at distance *d*, a lower bound on
     the diameter that is exact on trees.  Used by the pair samplers to find
     "hard" source/target pairs without computing full APSP.
+
+    On a disconnected graph the sweep deliberately stays inside *start*'s
+    component and bounds that component's diameter; if *start* is isolated the
+    result degenerates to ``(start, start, 0)``.  Callers that need the whole
+    graph's diameter must use :func:`diameter`, which enforces connectivity.
     """
     a, _ = farthest_node(graph, start)
     b, d = farthest_node(graph, a)
@@ -160,17 +195,28 @@ def double_sweep_diameter_lower_bound(graph: Graph, start: int = 0) -> Tuple[int
 def diameter(graph: Graph, *, exact: bool = True) -> int:
     """Graph diameter.
 
-    With ``exact=True`` (default) runs a BFS from every node (O(nm));
-    otherwise returns the double-sweep lower bound.
+    With ``exact=True`` (default) runs a batched BFS from every node (O(nm));
+    otherwise returns the double-sweep lower bound.  Both modes raise
+    ``ValueError`` on disconnected graphs — the diameter is infinite there,
+    and the previously silent within-component answer of ``exact=False``
+    masked sampling bugs.
     """
-    if graph.num_nodes == 0:
+    n = graph.num_nodes
+    if n == 0:
         return 0
     if not exact:
-        return double_sweep_diameter_lower_bound(graph)[2]
-    best = 0
-    for u in range(graph.num_nodes):
-        dist = bfs_distances(graph, u)
+        # Inline double sweep so the second sweep's distance array doubles as
+        # the connectivity check (no third BFS).
+        a, _ = farthest_node(graph, 0)
+        dist = bfs_distances(graph, a)
         if np.any(dist == UNREACHABLE):
             raise ValueError("graph is not connected; diameter undefined")
-        best = max(best, int(dist.max()))
+        return int(dist.max())
+    best = 0
+    for lo in range(0, n, _BATCH_ROWS):
+        hi = min(lo + _BATCH_ROWS, n)
+        block = bfs_distances_many(graph, range(lo, hi))
+        if np.any(block == UNREACHABLE):
+            raise ValueError("graph is not connected; diameter undefined")
+        best = max(best, int(block.max()))
     return best

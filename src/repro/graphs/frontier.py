@@ -1,0 +1,213 @@
+"""Vectorized, level-synchronous BFS engine over CSR graphs.
+
+Every quantity the reproduction measures — greedy diameters, expected step
+counts ``E(φ, s, t)``, ball sizes for the Theorem-4 scheme — reduces to BFS
+distances, so this module is the hot core everything else builds on.  Instead
+of popping one node at a time from a ``deque``, the engine expands the whole
+frontier of a level at once with numpy primitives:
+
+1. gather the CSR neighbour ranges of every frontier node in one shot
+   (``np.repeat`` over range starts + a flat ``arange`` offset trick),
+2. drop already-visited neighbours with a mask lookup,
+3. de-duplicate the survivors (``np.unique``) to obtain the next frontier and
+   stamp their distance.
+
+Because BFS distances are independent of intra-level visit order, the result
+is bitwise identical to the classic queue-based traversal; the property tests
+in ``tests/graphs/test_frontier.py`` assert exactly that on random graphs,
+trees, grids and disconnected graphs.
+
+The batched variant :func:`bfs_distances_many` runs ``k`` sources
+*simultaneously* by operating on flattened ``(row, node)`` keys in a single
+``k·n`` distance block — one numpy pass per level fills a whole block row
+range, which is what makes :func:`repro.graphs.distances.distance_matrix` and
+the :class:`repro.graphs.oracle.DistanceOracle` prefetch path scale to tens of
+thousands of nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_node_index
+
+__all__ = [
+    "UNREACHABLE",
+    "frontier_bfs",
+    "frontier_multi_source_bfs",
+    "bfs_distances_many",
+]
+
+UNREACHABLE: int = -1
+
+#: Frontiers at or below this size are expanded with a scalar loop instead of
+#: the vectorized gather: the fixed per-level cost of the numpy path (~15µs)
+#: exceeds the ~1µs/edge scalar cost when only a handful of edges are scanned.
+#: This adaptive switch is what keeps the engine competitive on high-diameter
+#: graphs (paths, rings) whose frontiers never grow past a few nodes, while
+#: meshes, expanders and batched sweeps take the vectorized path.
+_SPARSE_FRONTIER: int = 32
+
+
+def _check_cutoff(cutoff: Optional[int]) -> Optional[int]:
+    if cutoff is None:
+        return None
+    cutoff = int(cutoff)
+    if cutoff < 0:
+        raise ValueError("cutoff must be non-negative")
+    return cutoff
+
+
+def _gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated neighbour lists of *nodes* plus per-node counts.
+
+    This is the vectorized replacement for ``for u in nodes: for v in adj[u]``:
+    with ``starts[i] = indptr[nodes[i]]`` the flat positions of all neighbour
+    slots are ``arange(total) + repeat(starts - exclusive_cumsum(counts), counts)``.
+    The returned ``(neighbors, counts)`` satisfy ``neighbors`` being aligned
+    with ``np.repeat(nodes, counts)``, which the batched engine uses to carry
+    each frontier entry's row offset to its neighbours.
+    """
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype), counts
+    offsets = np.cumsum(counts) - counts  # exclusive prefix sum
+    pos = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+    return indices[pos], counts
+
+
+def _dedupe(keys: np.ndarray, claim: np.ndarray) -> np.ndarray:
+    """Drop duplicate *keys* without sorting.
+
+    Scatters each key's position into *claim* (last write wins) and keeps the
+    positions that survived — exactly one occurrence per distinct key, in
+    O(len(keys)) with no ``np.unique`` sort/hash pass.  *claim* is a reusable
+    scratch array indexed by key; it never needs resetting because stale
+    entries are only ever read for keys present in the current batch, which
+    the scatter just overwrote.
+    """
+    slots = np.arange(keys.size, dtype=np.int64)
+    claim[keys] = slots
+    return keys[claim[keys] == slots]
+
+
+def frontier_bfs(graph: Graph, source: int, *, cutoff: Optional[int] = None) -> np.ndarray:
+    """Single-source BFS distances via frontier batching.
+
+    Drop-in replacement for the legacy queue BFS: returns an ``int64`` array
+    with ``UNREACHABLE`` (-1) outside the source's component and, with
+    *cutoff*, leaves nodes strictly beyond the radius unreached (the truncated
+    search still costs only ``O(|B(source, cutoff)|)`` edge scans).
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    return frontier_multi_source_bfs(graph, [source], cutoff=cutoff)
+
+
+def frontier_multi_source_bfs(
+    graph: Graph, sources: Iterable[int], *, cutoff: Optional[int] = None
+) -> np.ndarray:
+    """Distance from each node to the *nearest* of the given sources."""
+    cutoff = _check_cutoff(cutoff)
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    dist = np.full(n, UNREACHABLE, dtype=np.int64)
+    seeds = [check_node_index(int(s), n, "source") for s in sources]
+    if not seeds:
+        return dist
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    dist[frontier] = 0
+    claim: Optional[np.ndarray] = None
+    level = 0
+    while frontier.size and (cutoff is None or level < cutoff):
+        level += 1
+        if frontier.size <= _SPARSE_FRONTIER:
+            # Scalar expansion: cheaper than the numpy fixed cost on tiny
+            # frontiers.  Distances are stamped as we go, which also
+            # deduplicates within the level.
+            nxt: list = []
+            append = nxt.append
+            for u in frontier.tolist():
+                for v in indices[indptr[u]: indptr[u + 1]].tolist():
+                    if dist[v] == UNREACHABLE:
+                        dist[v] = level
+                        append(v)
+            frontier = np.asarray(nxt, dtype=np.int64)
+        else:
+            neighbors, _ = _gather_neighbors(indptr, indices, frontier)
+            neighbors = neighbors[dist[neighbors] == UNREACHABLE]
+            if claim is None:
+                claim = np.empty(n, dtype=np.int64)
+            frontier = _dedupe(neighbors, claim)
+            dist[frontier] = level
+    return dist
+
+
+def bfs_distances_many(
+    graph: Graph,
+    sources: Sequence[int],
+    *,
+    cutoff: Optional[int] = None,
+) -> np.ndarray:
+    """Batched BFS: distance block of shape ``(len(sources), n)`` in one sweep.
+
+    All sources advance level-synchronously in the same numpy pass by encoding
+    the per-source state as flat keys ``row * n + node`` into a shared
+    ``k·n`` distance buffer.  One iteration of the loop expands the combined
+    frontier of *every* source, so the per-level Python overhead is amortised
+    across the whole batch — the speedup over ``k`` sequential queue BFS runs
+    on a 50k-node grid is two orders of magnitude (see
+    ``benchmarks/test_bench_bfs_engine.py``).
+
+    Duplicate sources are allowed and each row is an independent BFS, bitwise
+    identical to ``bfs_distances(graph, s, cutoff=cutoff)`` for its source.
+    """
+    cutoff = _check_cutoff(cutoff)
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    seeds = np.asarray([check_node_index(int(s), n, "source") for s in sources], dtype=np.int64)
+    k = seeds.size
+    dist = np.full(k * n, UNREACHABLE, dtype=np.int64)
+    if k == 0 or n == 0:
+        return dist.reshape(k, n)
+    frontier_keys = np.arange(k, dtype=np.int64) * n + seeds
+    dist[frontier_keys] = 0
+    claim: Optional[np.ndarray] = None
+    level = 0
+    while frontier_keys.size and (cutoff is None or level < cutoff):
+        level += 1
+        if frontier_keys.size <= _SPARSE_FRONTIER:
+            # Scalar expansion of a tiny combined frontier (see
+            # _SPARSE_FRONTIER); keys decompose as row * n + node.
+            nxt: list = []
+            append = nxt.append
+            for key in frontier_keys.tolist():
+                node = key % n
+                base = key - node
+                for v in indices[indptr[node]: indptr[node + 1]].tolist():
+                    nbr_key = base + v
+                    if dist[nbr_key] == UNREACHABLE:
+                        dist[nbr_key] = level
+                        append(nbr_key)
+            frontier_keys = np.asarray(nxt, dtype=np.int64)
+        else:
+            nodes = frontier_keys % n
+            row_base = frontier_keys - nodes  # row * n, carried to the neighbours
+            neighbors, counts = _gather_neighbors(indptr, indices, nodes)
+            if neighbors.size == 0:
+                break
+            neighbor_keys = np.repeat(row_base, counts) + neighbors
+            neighbor_keys = neighbor_keys[dist[neighbor_keys] == UNREACHABLE]
+            if claim is None:
+                claim = np.empty(k * n, dtype=np.int64)
+            frontier_keys = _dedupe(neighbor_keys, claim)
+            dist[frontier_keys] = level
+    return dist.reshape(k, n)

@@ -1,0 +1,175 @@
+"""Shared, LRU-capped distance oracle over the frontier BFS engine.
+
+The routing simulator, the Theorem-4 ball scheme and the decomposition
+measures all repeatedly ask for "the distance array from node *u*" — often
+for the same handful of targets across thousands of trials.  Before this
+module each subsystem kept its own ad-hoc ``Dict[int, np.ndarray]`` cache
+(``dist_cache`` in the simulator, ``_dist_cache`` in ``BallScheme``, the
+decomposition-local oracle in ``repro.decomposition.bags``).  The
+:class:`DistanceOracle` replaces all of them with one memoising layer:
+
+* per-source distance arrays are computed by the vectorized engine in
+  :mod:`repro.graphs.frontier` and returned as read-only views, so a cached
+  array can be shared freely across callers,
+* an optional ``max_entries`` cap turns the cache into a proper LRU so a long
+  experiment sweep over many targets cannot exhaust memory,
+* :meth:`prefetch` fills many sources at once through the *batched* engine
+  (:func:`repro.graphs.frontier.bfs_distances_many`), one numpy pass per BFS
+  level for the whole batch,
+* ball queries (:meth:`ball`, :meth:`ball_size`) reuse whatever distance
+  array is already cached.
+
+Because the graphs are undirected, ``distances_from`` and ``distances_to``
+are the same array; both spellings exist so call sites read naturally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.graphs.frontier import UNREACHABLE, bfs_distances_many, frontier_bfs
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_node_index
+
+__all__ = ["DistanceOracle"]
+
+
+class DistanceOracle:
+    """Memoised single-source BFS oracle with an optional LRU cap.
+
+    ``oracle(u, v)`` returns ``dist_G(u, v)``; each distinct source costs one
+    BFS (vectorized, frontier-batched), cached for the lifetime of the oracle
+    or until evicted by the LRU policy.
+
+    Parameters
+    ----------
+    graph:
+        The graph the oracle answers queries about.
+    max_entries:
+        Optional cap on the number of cached distance arrays.  ``None``
+        (default) caches every source ever queried — the historical
+        behaviour of the per-subsystem caches this class replaces.
+    """
+
+    def __init__(self, graph: Graph, *, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        self._graph = graph
+        self._max_entries = max_entries
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """LRU capacity (``None`` means unbounded)."""
+        return self._max_entries
+
+    @property
+    def hits(self) -> int:
+        """Number of queries served from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of queries that required a fresh BFS."""
+        return self._misses
+
+    def cache_size(self) -> int:
+        """Number of distance arrays currently cached."""
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop every cached array (hit/miss counters are kept)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def _store(self, source: int, dist: np.ndarray) -> None:
+        dist.setflags(write=False)
+        self._cache[source] = dist
+        if self._max_entries is not None:
+            while len(self._cache) > self._max_entries:
+                self._cache.popitem(last=False)
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """Full distance array from *source* (cached, read-only)."""
+        source = check_node_index(int(source), self._graph.num_nodes, "source")
+        dist = self._cache.get(source)
+        if dist is not None:
+            self._hits += 1
+            self._cache.move_to_end(source)
+            return dist
+        self._misses += 1
+        dist = frontier_bfs(self._graph, source)
+        self._store(source, dist)
+        return dist
+
+    def distances_to(self, target: int) -> np.ndarray:
+        """Distance array *to* ``target`` (== ``distances_from``: undirected graphs)."""
+        return self.distances_from(target)
+
+    def __call__(self, u: int, v: int) -> int:
+        """``dist_G(u, v)`` (``UNREACHABLE`` = -1 across components)."""
+        return int(self.distances_from(int(u))[int(v)])
+
+    def prefetch(self, sources: Iterable[int]) -> None:
+        """Warm the cache for *sources* with one batched frontier sweep.
+
+        Only sources not already cached are computed; the batch shares a
+        single level-synchronous pass, so warming ``k`` sources is far
+        cheaper than ``k`` individual :meth:`distances_from` misses.
+        """
+        n = self._graph.num_nodes
+        missing: list[int] = []
+        seen = set()
+        for s in sources:
+            s = check_node_index(int(s), n, "source")
+            if s not in self._cache and s not in seen:
+                seen.add(s)
+                missing.append(s)
+        if not missing:
+            return
+        if self._max_entries is not None and len(missing) > self._max_entries:
+            # Keep the *head* of the batch: callers consume sources in batch
+            # order, so the first max_entries entries are the ones that will
+            # be hit before any later miss can evict them.
+            missing = missing[: self._max_entries]
+        block = bfs_distances_many(self._graph, missing)
+        self._misses += len(missing)
+        for row, s in enumerate(missing):
+            # Copy each row out of the (k, n) block: storing views would pin
+            # the whole block in memory for as long as any one row survives
+            # in the cache, defeating the max_entries cap.
+            self._store(s, block[row].copy())
+
+    # ------------------------------------------------------------------ #
+    # Ball queries (Theorem-4 scheme)
+    # ------------------------------------------------------------------ #
+
+    def ball(self, center: int, radius: int) -> np.ndarray:
+        """Sorted members of ``B(center, radius)``, served from the cached BFS."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        dist = self.distances_from(center)
+        return np.nonzero((dist != UNREACHABLE) & (dist <= radius))[0]
+
+    def ball_size(self, center: int, radius: int) -> int:
+        """``|B(center, radius)|`` without materialising the member array."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        dist = self.distances_from(center)
+        return int(np.count_nonzero((dist != UNREACHABLE) & (dist <= radius)))

@@ -121,21 +121,23 @@ def greedy_route(
                 long_links_used=long_used,
                 success=False,
             )
+        current_dist = dist_to_target[current]
         best_node = -1
-        best_dist = dist_to_target[current]
+        best_dist = current_dist
         # Local neighbours.
         for v in indices[indptr[current]: indptr[current + 1]]:
             dv = dist_to_target[v]
             if dv != UNREACHABLE and dv < best_dist:
                 best_dist = dv
                 best_node = int(v)
-        # Long-range contact (preferred on ties with the best local candidate
-        # at equal distance it makes no difference to the step count).
+        # Long-range contact: preferred on ties with the best local candidate
+        # (at equal distance it makes no difference to the step count), but it
+        # must still bring us strictly closer than the current node.
         contact = contact_of(current)
         used_long = False
         if contact is not None and contact != current:
             dc = dist_to_target[contact]
-            if dc != UNREACHABLE and dc < best_dist:
+            if dc != UNREACHABLE and dc < current_dist and dc <= best_dist:
                 best_dist = dc
                 best_node = int(contact)
                 used_long = True

@@ -47,21 +47,32 @@ def extremal_pairs(graph: Graph, count: int, seed: RngLike = None) -> List[Tuple
     The first pair is the double-sweep pseudo-peripheral pair (exact diameter
     endpoints on trees); the remaining pairs take a random source and a node
     at maximal distance from it.
+
+    On disconnected graphs the sampler stays within components: a draw whose
+    farthest node is the source itself (an isolated node, or a singleton
+    component) is rejected, in *both* the forward and the reverse direction —
+    no ``(s, s)`` self-pair is ever emitted.  A graph with no edges admits no
+    valid pair and raises ``ValueError``.
     """
     count = check_positive_int(count, "count")
     n = graph.num_nodes
     if n < 2:
         raise ValueError("need at least two nodes to sample pairs")
+    if graph.num_edges == 0:
+        raise ValueError("graph has no edges; every pair would be a self-pair")
     rng = ensure_rng(seed)
     pairs: List[Tuple[int, int]] = []
     a, b, _ = double_sweep_diameter_lower_bound(graph, start=int(rng.integers(0, n)))
-    pairs.append((a, b))
+    if a != b:
+        pairs.append((a, b))
     while len(pairs) < count:
         s = int(rng.integers(0, n))
         dist = bfs_distances(graph, s)
         t = int(np.argmax(dist))
-        if t != s:
-            pairs.append((s, t))
+        if t == s:
+            # s is isolated (or a singleton component): no valid partner.
+            continue
+        pairs.append((s, t))
         if len(pairs) < count:
             # Also include the reverse direction: greedy routing is not symmetric.
             pairs.append((t, s))

@@ -4,13 +4,23 @@ For a fixed (source, target) pair the expected number of greedy steps is over
 the randomness of the long-range links only (greedy routing itself is
 deterministic).  The estimator therefore:
 
-1. computes ``dist_G(·, target)`` once per target (a single BFS),
+1. obtains ``dist_G(·, target)`` once per target from a shared
+   :class:`~repro.graphs.oracle.DistanceOracle` (one vectorized BFS, memoised
+   across pairs, trials and — when the caller passes its own oracle — across
+   the whole experiment run),
 2. for each trial, samples long-range links *lazily*: a node's contact is
    drawn the first time the route visits it and memoised for the remainder of
    the trial — statistically identical to sampling all ``n`` links upfront
    because the links are independent,
 3. averages the step counts over trials, and per experiment aggregates over a
    set of pairs (mean = average-case cost, max = greedy-diameter estimate).
+
+Truncated trials (routes that hit ``max_steps`` before reaching the target)
+are *excluded* from the step averages and counted in
+``RoutingEstimate.failed_trials`` instead — averaging them in would bias the
+mean downward, since a truncated route reports fewer steps than the route
+actually needed.  Without a ``max_steps`` budget a failed route can only mean
+inconsistent inputs, so it raises ``RuntimeError``.
 """
 
 from __future__ import annotations
@@ -21,8 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.base import AugmentationScheme
-from repro.graphs.distances import bfs_distances
 from repro.graphs.graph import Graph
+from repro.graphs.oracle import DistanceOracle
 from repro.routing.greedy import greedy_route
 from repro.routing.sampling import extremal_pairs, uniform_pairs
 from repro.routing.statistics import SummaryStats, summarize
@@ -34,12 +44,17 @@ __all__ = ["PairEstimate", "RoutingEstimate", "estimate_expected_steps", "estima
 
 @dataclass(frozen=True)
 class PairEstimate:
-    """Monte-Carlo estimate of ``E(φ, s, t)`` for one pair."""
+    """Monte-Carlo estimate of ``E(φ, s, t)`` for one pair.
+
+    ``stats`` summarises the *successful* trials only; ``failed_trials``
+    counts routes truncated by the ``max_steps`` budget.
+    """
 
     source: int
     target: int
     graph_distance: int
     stats: SummaryStats
+    failed_trials: int = 0
 
     @property
     def mean(self) -> float:
@@ -56,8 +71,8 @@ class RoutingEstimate:
     pairs:
         Per-pair estimates.
     mean:
-        Mean number of steps over every (pair, trial) sample — the
-        average-case routing cost.
+        Mean number of steps over every *successful* (pair, trial) sample —
+        the average-case routing cost.
     diameter:
         Maximum per-pair mean — the Monte-Carlo estimate of the greedy
         diameter ``max_{s,t} E(φ, s, t)`` restricted to the sampled pairs.
@@ -65,6 +80,9 @@ class RoutingEstimate:
         Trials per pair.
     long_link_fraction:
         Fraction of traversed edges that were long-range links (diagnostic).
+    failed_trials:
+        Total number of trials truncated by ``max_steps`` (0 when no budget
+        is set; such trials are excluded from ``mean`` and ``diameter``).
     """
 
     pairs: List[PairEstimate] = field(default_factory=list)
@@ -72,6 +90,7 @@ class RoutingEstimate:
     diameter: float = 0.0
     trials: int = 0
     long_link_fraction: float = 0.0
+    failed_trials: int = 0
 
     @property
     def max_pair(self) -> Optional[PairEstimate]:
@@ -87,6 +106,7 @@ class RoutingEstimate:
             "trials": self.trials,
             "num_pairs": len(self.pairs),
             "long_link_fraction": self.long_link_fraction,
+            "failed_trials": self.failed_trials,
         }
 
 
@@ -99,9 +119,13 @@ def _route_trials(
     trials: int,
     rng: np.random.Generator,
     max_steps: Optional[int],
-) -> Tuple[List[int], int, int]:
-    """Run *trials* independent routes for one pair; returns (steps, long links, total links)."""
+) -> Tuple[List[int], int, int, int]:
+    """Run *trials* independent routes for one pair.
+
+    Returns ``(successful step counts, failed trials, long links, total links)``.
+    """
     steps: List[int] = []
+    failures = 0
     long_links = 0
     total_links = 0
     for _ in range(trials):
@@ -120,10 +144,18 @@ def _route_trials(
             contact_of,
             max_steps=max_steps,
         )
-        steps.append(result.steps)
+        if result.success:
+            steps.append(result.steps)
+        else:
+            if max_steps is None:
+                raise RuntimeError(
+                    f"greedy route {source}->{target} failed without a max_steps budget; "
+                    "the distance array and graph are inconsistent"
+                )
+            failures += 1
         long_links += result.long_links_used
         total_links += result.steps
-    return steps, long_links, total_links
+    return steps, failures, long_links, total_links
 
 
 def estimate_expected_steps(
@@ -134,6 +166,7 @@ def estimate_expected_steps(
     trials: int = 16,
     seed: RngLike = None,
     max_steps: Optional[int] = None,
+    oracle: Optional[DistanceOracle] = None,
 ) -> RoutingEstimate:
     """Estimate ``E(φ, s, t)`` for every pair in *pairs* and aggregate.
 
@@ -148,7 +181,15 @@ def estimate_expected_steps(
     seed:
         Experiment-level seed; per-pair streams are derived deterministically.
     max_steps:
-        Safety bound forwarded to :func:`greedy_route`.
+        Safety bound forwarded to :func:`greedy_route`.  Trials that exhaust
+        it are counted in ``failed_trials`` and excluded from the means; a
+        pair whose trials *all* fail raises ``ValueError`` (its expected cost
+        cannot be estimated from the budget).
+    oracle:
+        Optional shared :class:`~repro.graphs.oracle.DistanceOracle` serving
+        the per-target distance arrays.  Pass one oracle across calls (and to
+        :class:`~repro.core.ball_scheme.BallScheme`) to reuse BFS work for an
+        entire experiment; by default a private oracle is created per call.
     """
     if scheme.graph is not graph and not scheme.graph.same_structure(graph):
         raise ValueError("scheme was built for a different graph")
@@ -156,29 +197,38 @@ def estimate_expected_steps(
     pairs = list(pairs)
     if not pairs:
         raise ValueError("need at least one (source, target) pair")
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    elif oracle.graph is not graph and not oracle.graph.same_structure(graph):
+        raise ValueError("oracle was built for a different graph")
     rngs = spawn_rngs(seed, len(pairs))
-    dist_cache: Dict[int, np.ndarray] = {}
+    oracle.prefetch(target for (_, target) in pairs)
     estimates: List[PairEstimate] = []
     all_steps: List[int] = []
+    failed_trials = 0
     long_links = 0
     total_links = 0
     for (source, target), rng in zip(pairs, rngs):
-        dist_to_target = dist_cache.get(target)
-        if dist_to_target is None:
-            dist_to_target = bfs_distances(graph, target)
-            dist_cache[target] = dist_to_target
-        steps, pair_long, pair_total = _route_trials(
+        dist_to_target = oracle.distances_to(target)
+        steps, pair_failures, pair_long, pair_total = _route_trials(
             graph, scheme, source, target, dist_to_target, trials, rng, max_steps
         )
+        if not steps:
+            raise ValueError(
+                f"all {trials} trials for pair ({source}, {target}) exceeded "
+                f"max_steps={max_steps}; raise the budget to estimate this pair"
+            )
         estimates.append(
             PairEstimate(
                 source=source,
                 target=target,
                 graph_distance=int(dist_to_target[source]),
                 stats=summarize(steps),
+                failed_trials=pair_failures,
             )
         )
         all_steps.extend(steps)
+        failed_trials += pair_failures
         long_links += pair_long
         total_links += pair_total
     overall = summarize(all_steps)
@@ -188,6 +238,7 @@ def estimate_expected_steps(
         diameter=max(p.mean for p in estimates),
         trials=trials,
         long_link_fraction=(long_links / total_links) if total_links else 0.0,
+        failed_trials=failed_trials,
     )
 
 
@@ -200,6 +251,7 @@ def estimate_greedy_diameter(
     seed: RngLike = None,
     pair_strategy: str = "extremal",
     max_steps: Optional[int] = None,
+    oracle: Optional[DistanceOracle] = None,
 ) -> RoutingEstimate:
     """Estimate the greedy diameter ``diam(G, φ)`` by sampling hard pairs.
 
@@ -207,7 +259,8 @@ def estimate_greedy_diameter(
     ``"uniform"``.  Because only a sample of pairs is routed the result is a
     lower estimate of the true maximum, which is the standard Monte-Carlo
     treatment for greedy diameters; the scaling exponents reported by the
-    experiments are unaffected.
+    experiments are unaffected.  *oracle* is forwarded to
+    :func:`estimate_expected_steps`.
     """
     rng = ensure_rng(seed)
     pair_seed = int(rng.integers(0, 2**31 - 1))
@@ -225,4 +278,5 @@ def estimate_greedy_diameter(
         trials=trials,
         seed=routing_seed,
         max_steps=max_steps,
+        oracle=oracle,
     )

@@ -122,3 +122,44 @@ class TestAggregates:
 
     def test_inexact_diameter_uses_double_sweep(self, grid4x4):
         assert diameter(grid4x4, exact=False) <= diameter(grid4x4)
+
+    def test_inexact_diameter_disconnected_raises(self):
+        # Regression: exact=False used to silently return the within-component
+        # sweep while exact=True raised; both modes now raise.
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        with pytest.raises(ValueError):
+            diameter(g, exact=False)
+        with pytest.raises(ValueError):
+            diameter(g, exact=True)
+
+    def test_double_sweep_is_component_restricted(self):
+        # Documented contract: the heuristic stays inside the start component.
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        a, b, d = double_sweep_diameter_lower_bound(g, start=1)
+        assert {a, b} <= {0, 1, 2, 3}
+        assert d == 3
+        a, b, d = double_sweep_diameter_lower_bound(g, start=4)
+        assert {a, b} <= {4, 5}
+        assert d == 1
+
+    def test_double_sweep_isolated_start_degenerates(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        a, b, d = double_sweep_diameter_lower_bound(g, start=3)
+        assert (a, b, d) == (3, 3, 0)
+
+
+class TestLegacyReference:
+    def test_legacy_matches_engine(self, small_graphs):
+        from repro.graphs.distances import legacy_bfs_distances
+
+        for g in small_graphs:
+            for source in range(0, g.num_nodes, 2):
+                np.testing.assert_array_equal(
+                    bfs_distances(g, source), legacy_bfs_distances(g, source)
+                )
+
+    def test_distance_matrix_batches_match_single_rows(self, small_graphs):
+        for g in small_graphs:
+            mat = distance_matrix(g)
+            for u in range(g.num_nodes):
+                np.testing.assert_array_equal(mat[u], bfs_distances(g, u))

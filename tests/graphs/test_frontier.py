@@ -1,0 +1,177 @@
+"""Property tests: the vectorized frontier BFS engine is element-wise
+identical to the legacy deque BFS on every graph family we can throw at it.
+
+The engine (``repro.graphs.frontier``) is the hot core every distance,
+ball and routing computation now runs on; these tests pin it to the readable
+reference implementation (``legacy_bfs_distances``) on random graphs, trees,
+grids and disconnected graphs, for single-source, cutoff, multi-source and
+batched variants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators
+from repro.graphs.distances import (
+    UNREACHABLE,
+    bfs_distances,
+    legacy_bfs_distances,
+    multi_source_bfs,
+)
+from repro.graphs.frontier import (
+    bfs_distances_many,
+    frontier_bfs,
+    frontier_multi_source_bfs,
+)
+from repro.graphs.graph import Graph
+
+
+def legacy_multi_source(graph, sources):
+    """Reference multi-source BFS: min over per-source legacy BFS arrays."""
+    dists = np.stack([legacy_bfs_distances(graph, s) for s in sources])
+    masked = np.where(dists == UNREACHABLE, np.iinfo(np.int64).max, dists)
+    best = masked.min(axis=0)
+    return np.where(best == np.iinfo(np.int64).max, UNREACHABLE, best)
+
+
+@st.composite
+def random_graphs(draw):
+    """Random simple graphs, including disconnected ones and isolated nodes."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=80)) if possible else []
+    return Graph.from_edges(n, edges, name=f"hyp-{n}")
+
+
+def graph_portfolio():
+    return [
+        generators.path_graph(17),
+        generators.cycle_graph(24),
+        generators.grid_graph([5, 7]),
+        generators.grid_graph([3, 4, 5]),
+        generators.binary_tree(31),
+        generators.random_tree(64, seed=11),
+        generators.star_graph(20),
+        generators.erdos_renyi_graph(80, 0.05, seed=5, connect=False),
+        generators.erdos_renyi_graph(60, 0.02, seed=9, connect=False),
+        Graph.from_edges(9, [(0, 1), (1, 2), (4, 5), (5, 6), (6, 4)], name="three-components"),
+        Graph.empty(6),
+    ]
+
+
+class TestSingleSourceEquivalence:
+    @pytest.mark.parametrize("graph", graph_portfolio(), ids=lambda g: g.name)
+    def test_matches_legacy_on_portfolio(self, graph):
+        for source in range(graph.num_nodes):
+            expected = legacy_bfs_distances(graph, source)
+            np.testing.assert_array_equal(frontier_bfs(graph, source), expected)
+
+    @pytest.mark.parametrize("graph", graph_portfolio(), ids=lambda g: g.name)
+    def test_cutoff_matches_legacy(self, graph):
+        for source in range(0, graph.num_nodes, 2):
+            for cutoff in (0, 1, 2, 5):
+                expected = legacy_bfs_distances(graph, source, cutoff=cutoff)
+                got = frontier_bfs(graph, source, cutoff=cutoff)
+                np.testing.assert_array_equal(got, expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), graph=random_graphs())
+    def test_random_graphs_property(self, data, graph):
+        source = data.draw(st.integers(0, graph.num_nodes - 1))
+        cutoff = data.draw(st.one_of(st.none(), st.integers(0, 8)))
+        expected = legacy_bfs_distances(graph, source, cutoff=cutoff)
+        np.testing.assert_array_equal(frontier_bfs(graph, source, cutoff=cutoff), expected)
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            frontier_bfs(generators.path_graph(4), 0, cutoff=-1)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises((IndexError, ValueError)):
+            frontier_bfs(generators.path_graph(4), 99)
+
+
+class TestMultiSourceEquivalence:
+    @pytest.mark.parametrize("graph", graph_portfolio(), ids=lambda g: g.name)
+    def test_matches_per_source_minimum(self, graph):
+        if graph.num_nodes < 3:
+            pytest.skip("needs at least three nodes")
+        sources = [0, graph.num_nodes // 2, graph.num_nodes - 1]
+        expected = legacy_multi_source(graph, sources)
+        np.testing.assert_array_equal(frontier_multi_source_bfs(graph, sources), expected)
+        np.testing.assert_array_equal(multi_source_bfs(graph, sources), expected)
+
+    def test_no_sources_all_unreachable(self):
+        g = generators.path_graph(5)
+        assert np.all(frontier_multi_source_bfs(g, []) == UNREACHABLE)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), graph=random_graphs())
+    def test_random_graphs_property(self, data, graph):
+        sources = data.draw(
+            st.lists(st.integers(0, graph.num_nodes - 1), min_size=1, max_size=5)
+        )
+        expected = legacy_multi_source(graph, sources)
+        np.testing.assert_array_equal(frontier_multi_source_bfs(graph, sources), expected)
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("graph", graph_portfolio(), ids=lambda g: g.name)
+    def test_each_row_matches_legacy(self, graph):
+        sources = list(range(graph.num_nodes))
+        block = bfs_distances_many(graph, sources)
+        assert block.shape == (graph.num_nodes, graph.num_nodes)
+        for row, source in enumerate(sources):
+            np.testing.assert_array_equal(block[row], legacy_bfs_distances(graph, source))
+
+    @pytest.mark.parametrize("graph", graph_portfolio(), ids=lambda g: g.name)
+    def test_cutoff_rows_match_legacy(self, graph):
+        sources = list(range(0, graph.num_nodes, 2))
+        if not sources:
+            pytest.skip("empty graph")
+        block = bfs_distances_many(graph, sources, cutoff=3)
+        for row, source in enumerate(sources):
+            np.testing.assert_array_equal(
+                block[row], legacy_bfs_distances(graph, source, cutoff=3)
+            )
+
+    def test_duplicate_sources_are_independent_rows(self):
+        g = generators.grid_graph([4, 5])
+        block = bfs_distances_many(g, [3, 3, 7])
+        np.testing.assert_array_equal(block[0], block[1])
+        np.testing.assert_array_equal(block[0], legacy_bfs_distances(g, 3))
+        np.testing.assert_array_equal(block[2], legacy_bfs_distances(g, 7))
+
+    def test_empty_batch(self):
+        g = generators.path_graph(4)
+        block = bfs_distances_many(g, [])
+        assert block.shape == (0, 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), graph=random_graphs())
+    def test_random_graphs_property(self, data, graph):
+        sources = data.draw(
+            st.lists(st.integers(0, graph.num_nodes - 1), min_size=1, max_size=6)
+        )
+        cutoff = data.draw(st.one_of(st.none(), st.integers(0, 6)))
+        block = bfs_distances_many(graph, sources, cutoff=cutoff)
+        for row, source in enumerate(sources):
+            np.testing.assert_array_equal(
+                block[row], legacy_bfs_distances(graph, source, cutoff=cutoff)
+            )
+
+
+class TestPublicWrappers:
+    def test_bfs_distances_is_frontier_backed(self):
+        g = generators.grid_graph([6, 6])
+        np.testing.assert_array_equal(bfs_distances(g, 0), frontier_bfs(g, 0))
+
+    def test_sparse_and_vector_paths_agree(self):
+        # A star's frontier jumps 1 -> n-1, crossing the sparse/vector switch
+        # both ways on consecutive levels.
+        g = generators.star_graph(200)
+        for source in (0, 1, 150):
+            np.testing.assert_array_equal(
+                frontier_bfs(g, source), legacy_bfs_distances(g, source)
+            )

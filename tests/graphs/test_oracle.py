@@ -1,0 +1,143 @@
+"""Unit tests for the shared LRU-capped DistanceOracle."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.distances import UNREACHABLE, bfs_distances
+from repro.graphs.oracle import DistanceOracle
+from repro.graphs.balls import ball
+
+
+class TestBasicQueries:
+    def test_distances_match_bfs(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        for source in range(grid4x4.num_nodes):
+            np.testing.assert_array_equal(
+                oracle.distances_from(source), bfs_distances(grid4x4, source)
+            )
+
+    def test_distances_to_aliases_from(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        assert oracle.distances_to(3) is oracle.distances_from(3)
+
+    def test_callable_pairwise(self, path8):
+        oracle = DistanceOracle(path8)
+        assert oracle(0, 7) == 7
+        assert oracle(4, 4) == 0
+
+    def test_unreachable_pairs(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        oracle = DistanceOracle(g)
+        assert oracle(0, 3) == UNREACHABLE
+
+    def test_cached_arrays_are_read_only(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        arr = oracle.distances_from(0)
+        with pytest.raises(ValueError):
+            arr[0] = 99
+
+
+class TestCachePolicy:
+    def test_repeat_queries_hit_cache(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        a = oracle.distances_from(5)
+        b = oracle.distances_from(5)
+        assert a is b
+        assert oracle.hits == 1 and oracle.misses == 1
+        assert oracle.cache_size() == 1
+
+    def test_lru_eviction(self, cycle12):
+        oracle = DistanceOracle(cycle12, max_entries=2)
+        oracle.distances_from(0)
+        oracle.distances_from(1)
+        oracle.distances_from(0)  # refresh 0 -> 1 is now least recent
+        oracle.distances_from(2)  # evicts 1
+        assert oracle.cache_size() == 2
+        misses = oracle.misses
+        oracle.distances_from(1)  # must recompute
+        assert oracle.misses == misses + 1
+
+    def test_invalid_cap_rejected(self, cycle12):
+        with pytest.raises(ValueError):
+            DistanceOracle(cycle12, max_entries=0)
+
+    def test_clear(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        oracle.distances_from(0)
+        oracle.clear()
+        assert oracle.cache_size() == 0
+
+
+class TestPrefetch:
+    def test_prefetch_fills_cache_batched(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        oracle.prefetch([0, 5, 10, 5, 0])
+        assert oracle.cache_size() == 3
+        hits = oracle.hits
+        for s in (0, 5, 10):
+            np.testing.assert_array_equal(
+                oracle.distances_from(s), bfs_distances(grid4x4, s)
+            )
+        assert oracle.hits == hits + 3
+
+    def test_prefetch_skips_cached(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        oracle.distances_from(0)
+        misses = oracle.misses
+        oracle.prefetch([0])
+        assert oracle.misses == misses
+
+    def test_prefetch_respects_cap(self, cycle12):
+        oracle = DistanceOracle(cycle12, max_entries=3)
+        oracle.prefetch(range(10))
+        assert oracle.cache_size() == 3
+
+
+class TestBallQueries:
+    def test_ball_matches_module_function(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        for center in (0, 5, 15):
+            for radius in (0, 1, 2, 4):
+                np.testing.assert_array_equal(
+                    oracle.ball(center, radius), ball(grid4x4, center, radius)
+                )
+
+    def test_ball_size(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        assert oracle.ball_size(0, 0) == 1
+        assert oracle.ball_size(0, 1) == 3
+        assert oracle.ball_size(0, 6) == 12
+
+    def test_negative_radius_rejected(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        with pytest.raises(ValueError):
+            oracle.ball(0, -1)
+        with pytest.raises(ValueError):
+            oracle.ball_size(0, -2)
+
+
+class TestSharedAcrossSubsystems:
+    def test_decomposition_import_is_shared_class(self):
+        from repro.decomposition.bags import DistanceOracle as BagsOracle
+
+        assert BagsOracle is DistanceOracle
+
+    def test_ball_scheme_uses_injected_oracle(self, cycle12):
+        from repro.core.ball_scheme import BallScheme
+
+        oracle = DistanceOracle(cycle12)
+        scheme = BallScheme(cycle12, seed=0, oracle=oracle)
+        assert scheme.oracle is oracle
+        scheme.sample_contact(0)
+        assert oracle.cache_size() >= 1
+        scheme.reset_cache()
+        assert oracle.cache_size() == 0
+
+    def test_ball_scheme_rejects_foreign_oracle(self, cycle12, path8):
+        from repro.core.ball_scheme import BallScheme
+
+        with pytest.raises(ValueError):
+            BallScheme(cycle12, seed=0, oracle=DistanceOracle(path8))

@@ -108,6 +108,59 @@ class TestGreedyRouteWithLongLinks:
                 assert result.steps <= dist[source]
 
 
+class TestTieBreak:
+    def test_long_link_preferred_on_tie_with_local(self):
+        # Path 0-1-2-3 with a spur 4 hanging off node 1.  From source 3 the
+        # best local candidate is 2 (dist 2 to target 0); the non-adjacent
+        # contact 4 is also at dist 2 and must win the tie (the documented
+        # semantics: prefer the long link on ties).
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (1, 4)])
+        dist = bfs_distances(g, 0)
+
+        def contact(u):
+            return 4 if u == 3 else None
+
+        result = greedy_route(g, dist, 3, 0, contact, record_path=True)
+        assert result.success
+        assert result.long_links_used == 1
+        assert result.path[1] == 4
+        assert result.steps == 3  # the tie-break never changes the step count
+
+    def test_long_link_not_taken_when_no_progress(self):
+        # A contact at the *current* node's distance is no progress and must
+        # be ignored even though it "ties" when no local neighbour improves...
+        # which cannot happen on a connected graph, so instead check a tie
+        # with a strictly-improving local candidate is required to be an
+        # improvement over the current node too.
+        g = generators.path_graph(10)
+        dist = bfs_distances(g, 9)
+
+        def contact(u):
+            return u - 1 if u >= 1 else None  # same distance as stepping back
+
+        result = greedy_route(g, dist, 5, 9, contact)
+        assert result.success
+        assert result.steps == 4
+        assert result.long_links_used == 0
+
+    def test_tie_break_does_not_change_step_count(self, small_graphs):
+        # Preferring the long link on ties is cosmetic for the step count.
+        for g in small_graphs:
+            target = 0
+            dist = bfs_distances(g, target)
+            rng = np.random.default_rng(7)
+
+            def contact(u):
+                return int(rng.integers(0, g.num_nodes))
+
+            for source in range(g.num_nodes):
+                result = greedy_route(g, dist, source, target, contact)
+                assert result.success
+                assert result.steps <= dist[source]
+
+
 class TestValidation:
     def test_unreachable_target_rejected(self):
         from repro.graphs.graph import Graph

@@ -4,6 +4,7 @@ import pytest
 
 from repro.graphs import generators
 from repro.graphs.distances import bfs_distances, diameter
+from repro.graphs.graph import Graph
 from repro.routing.sampling import all_pairs, extremal_pairs, uniform_pairs
 
 
@@ -45,6 +46,27 @@ class TestExtremalPairs:
         pairs = extremal_pairs(g, 6, seed=0)
         forward = {(s, t) for s, t in pairs}
         assert any((t, s) in forward for s, t in forward)
+
+
+class TestExtremalPairsDisconnected:
+    def test_no_self_pairs_with_isolated_nodes(self):
+        # Regression: the reverse (t, s) of a rejected forward draw used to be
+        # appended unguarded, emitting (s, s) when s was isolated.
+        g = Graph.from_edges(10, [(0, 1), (1, 2), (2, 3)])  # nodes 4..9 isolated
+        for seed in range(20):
+            pairs = extremal_pairs(g, 8, seed=seed)
+            assert len(pairs) == 8
+            assert all(s != t for s, t in pairs)
+
+    def test_pairs_stay_within_components(self):
+        g = Graph.from_edges(8, [(0, 1), (1, 2), (4, 5), (5, 6), (6, 7)])
+        for seed in range(10):
+            for s, t in extremal_pairs(g, 6, seed=seed):
+                assert bfs_distances(g, s)[t] > 0
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(ValueError):
+            extremal_pairs(Graph.empty(5), 3, seed=0)
 
 
 class TestAllPairs:

@@ -65,6 +65,80 @@ class TestEstimateExpectedSteps:
         assert d["trials"] == 2
 
 
+class _NoLinksScheme(UniformScheme):
+    """Scheme without long-range links: greedy = deterministic shortest path."""
+
+    def sample_contact(self, node, rng=None):
+        return None
+
+
+class TestFailedTrials:
+    def test_all_trials_truncated_raises(self):
+        # Without long links every route on a path takes exactly dist steps,
+        # so a max_steps budget below that truncates every trial and the
+        # pair's expected cost cannot be estimated.
+        g = generators.path_graph(30)
+        scheme = _NoLinksScheme(g, seed=0)
+        with pytest.raises(ValueError):
+            estimate_expected_steps(g, scheme, [(0, 29)], trials=4, seed=1, max_steps=3)
+
+    def test_failed_trials_field_zero_without_budget(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=4, seed=1)
+        assert estimate.failed_trials == 0
+        assert all(p.failed_trials == 0 for p in estimate.pairs)
+        assert "failed_trials" in estimate.as_dict()
+
+    def test_mixed_success_excludes_failures_from_mean(self):
+        # On a ring with uniform long links, some trials shortcut under the
+        # budget and others exceed it; the mean must be over successes only.
+        g = generators.cycle_graph(64)
+        scheme = UniformScheme(g, seed=0)
+        budget = 10
+        estimate = estimate_expected_steps(
+            g, scheme, [(0, 32)], trials=64, seed=5, max_steps=budget
+        )
+        pair = estimate.pairs[0]
+        assert estimate.failed_trials > 0
+        assert pair.failed_trials == estimate.failed_trials
+        assert pair.stats.count + pair.failed_trials == 64
+        assert pair.stats.maximum <= budget
+
+
+class TestSharedOracle:
+    def test_oracle_serves_target_distances(self, cycle12):
+        from repro.graphs.oracle import DistanceOracle
+
+        oracle = DistanceOracle(cycle12)
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate = estimate_expected_steps(
+            cycle12, scheme, [(0, 6), (3, 6), (1, 9)], trials=4, seed=1, oracle=oracle
+        )
+        assert len(estimate.pairs) == 3
+        # One BFS per distinct target, served through the shared oracle.
+        assert oracle.cache_size() == 2
+        assert oracle.hits >= 1
+
+    def test_oracle_reused_across_calls_matches_fresh(self, cycle12):
+        from repro.graphs.oracle import DistanceOracle
+
+        scheme = UniformScheme(cycle12, seed=0)
+        oracle = DistanceOracle(cycle12)
+        a = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=8, seed=3, oracle=oracle)
+        b = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=8, seed=3, oracle=oracle)
+        c = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=8, seed=3)
+        assert a.mean == b.mean == c.mean
+
+    def test_foreign_oracle_rejected(self, cycle12, path8):
+        from repro.graphs.oracle import DistanceOracle
+
+        scheme = UniformScheme(cycle12, seed=0)
+        with pytest.raises(ValueError):
+            estimate_expected_steps(
+                cycle12, scheme, [(0, 6)], trials=2, oracle=DistanceOracle(path8)
+            )
+
+
 class TestEstimateGreedyDiameter:
     def test_extremal_strategy(self, cycle12):
         scheme = UniformScheme(cycle12, seed=0)
