@@ -1,22 +1,40 @@
-"""Structured experiment results.
+"""Structured experiment results and persisted sweep artifacts.
 
 Every experiment module returns an :class:`ExperimentResult`: a set of named
 series (one per scheme / graph family), each mapping problem size ``n`` to a
 measured quantity (usually the estimated greedy diameter), plus fitted
 exponents and a free-form conclusion comparing measurement against the
 paper's claim.
+
+The sweep pipeline additionally persists every computed *cell* — one
+``(experiment, family, n)`` unit of work — as a :class:`CellArtifact` JSON
+file, so long sweeps are resumable (``--resume`` skips cells whose artifact
+already exists with a matching configuration) and reports can be regenerated
+from artifacts alone without re-running any routing.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.scaling import PowerLawFit, fit_power_law
 from repro.analysis.tables import format_markdown_table, format_table
 
-__all__ = ["SeriesResult", "ExperimentResult"]
+__all__ = [
+    "SeriesResult",
+    "ExperimentResult",
+    "CellArtifact",
+    "ARTIFACT_SCHEMA_VERSION",
+    "artifact_path",
+    "write_cell_artifact",
+    "load_cell_artifact",
+    "iter_cell_artifacts",
+]
 
 
 @dataclass
@@ -130,3 +148,126 @@ class ExperimentResult:
             indent=2,
             default=str,
         )
+
+
+# --------------------------------------------------------------------------- #
+# Persisted sweep artifacts
+# --------------------------------------------------------------------------- #
+
+#: Bump when the artifact layout changes; loaders reject newer/older versions.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def _slugify(text: str) -> str:
+    """Filesystem-safe slug for artifact filenames (family names may contain
+    ``/``, ``=``, spaces, …)."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")
+    return slug or "x"
+
+
+@dataclass
+class CellArtifact:
+    """Persisted result of one ``(experiment, family, n)`` sweep cell.
+
+    Attributes
+    ----------
+    experiment_id, family, n:
+        The cell key (exact, un-slugified strings — the filename is derived
+        but the JSON body is authoritative).
+    config:
+        Fingerprint of the :class:`~repro.experiments.config.ExperimentConfig`
+        the cell was computed under (``dataclasses.asdict``).  A resume run
+        only reuses an artifact whose fingerprint matches its own config.
+    payload:
+        The module's JSON-safe cell payload (see
+        :func:`repro.experiments.common.scaling_cell`).
+    """
+
+    experiment_id: str
+    family: str
+    n: int
+    config: Dict[str, object]
+    payload: Dict[str, object]
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+
+    def filename(self) -> str:
+        return (
+            f"{_slugify(self.experiment_id)}__{_slugify(self.family)}__n{int(self.n)}.json"
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schema_version": self.schema_version,
+                "experiment_id": self.experiment_id,
+                "family": self.family,
+                "n": int(self.n),
+                "config": self.config,
+                "payload": self.payload,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellArtifact":
+        data = json.loads(text)
+        version = data.get("schema_version")
+        if version != ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported artifact schema version {version!r} "
+                f"(this build reads version {ARTIFACT_SCHEMA_VERSION})"
+            )
+        return cls(
+            experiment_id=data["experiment_id"],
+            family=data["family"],
+            n=int(data["n"]),
+            config=data["config"],
+            payload=data["payload"],
+            schema_version=int(version),
+        )
+
+
+def artifact_path(directory: Union[str, Path], experiment_id: str, family: str, n: int) -> Path:
+    """Canonical artifact location for a cell key."""
+    stub = CellArtifact(experiment_id=experiment_id, family=family, n=n, config={}, payload={})
+    return Path(directory) / stub.filename()
+
+
+def write_cell_artifact(directory: Union[str, Path], artifact: CellArtifact) -> Path:
+    """Write *artifact* under *directory* (created if needed); returns the path.
+
+    The write goes through a temporary file + rename so a crashed sweep never
+    leaves a half-written artifact that a later ``--resume`` would trust.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / artifact.filename()
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(artifact.to_json() + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_cell_artifact(path: Union[str, Path]) -> CellArtifact:
+    """Load one artifact file (raises on missing file / wrong schema)."""
+    return CellArtifact.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def iter_cell_artifacts(directory: Union[str, Path]) -> List[CellArtifact]:
+    """Load every ``*.json`` artifact under *directory*, sorted by filename.
+
+    Files that are not valid artifacts (wrong schema, foreign JSON) are
+    skipped silently so the artifact directory can live alongside other
+    output files.
+    """
+    directory = Path(directory)
+    artifacts: List[CellArtifact] = []
+    if not directory.is_dir():
+        return artifacts
+    for path in sorted(directory.glob("*.json")):
+        try:
+            artifacts.append(load_cell_artifact(path))
+        except (ValueError, KeyError, json.JSONDecodeError):
+            continue
+    return artifacts

@@ -5,7 +5,9 @@ Four subcommands cover the library's day-to-day uses without writing Python:
 * ``repro graph``      — generate a graph and print its basic statistics,
 * ``repro pathshape``  — estimate the pathshape of a generated graph,
 * ``repro route``      — estimate the greedy diameter of a (graph, scheme) pair,
-* ``repro experiment`` — run one or all of the paper's experiments.
+* ``repro experiment`` — run one or all of the paper's experiments
+  (``--jobs`` fans the sweep's cells out over processes, ``--out`` persists
+  per-cell JSON artifacts, ``--resume`` skips already-computed cells).
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -123,12 +125,33 @@ def _cmd_route(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
     only = args.only if args.only else None
-    results = run_all(config, only=only, verbose=not args.markdown)
+    if args.resume and not args.out:
+        print("--resume requires --out (the artifact directory to resume from)", file=sys.stderr)
+        return 1
+    stats: dict = {}
+    try:
+        results = run_all(
+            config,
+            only=only,
+            verbose=not args.markdown,
+            jobs=args.jobs,
+            artifacts_dir=args.out,
+            resume=args.resume,
+            stats=stats,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.markdown:
         print(render_markdown(results))
-    if not results:
-        print("no experiments matched the --only filter", file=sys.stderr)
-        return 1
+    else:
+        executed, skipped = len(stats["executed"]), len(stats["skipped"])
+        note = f"sweep: {executed} cell(s) computed"
+        if skipped:
+            note += f", {skipped} loaded from artifacts"
+        if args.out:
+            note += f"; artifacts in {args.out}"
+        print(note)
     return 0
 
 
@@ -180,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--quick", action="store_true", help="use the small benchmark configuration")
     p_exp.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    p_exp.add_argument("--jobs", type=int, default=1, help="worker processes for the cell sweep")
+    p_exp.add_argument("--out", help="directory to persist per-cell JSON artifacts in")
+    p_exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose artifact already exists in --out (same config only)",
+    )
     p_exp.set_defaults(handler=_cmd_experiment)
 
     return parser

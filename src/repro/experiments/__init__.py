@@ -3,13 +3,18 @@
 Each experiment module exposes
 
 * ``EXPERIMENT_ID`` / ``TITLE`` / ``PAPER_CLAIM`` constants,
-* ``run(config) -> ExperimentResult`` — the full parameter sweep, and
+* the cell protocol — ``cell_keys(config)``, ``run_cell(config, family, n)``
+  and ``assemble(config, cells)`` — that the sweep pipeline
+  (:class:`~repro.experiments.runner.SweepExecutor`) fans out over processes
+  and persists as JSON artifacts (see :mod:`repro.experiments.common`),
+* ``run(config) -> ExperimentResult`` — the classic one-call sweep, and
 * ``main()`` — a CLI entry point printing the text report.
 
 The benchmarks under ``benchmarks/`` call ``run`` with a small
 :class:`~repro.experiments.config.ExperimentConfig` so they finish quickly;
-``python -m repro.experiments.exp_ball_scheme`` (etc.) runs the full-size
-sweep recorded in EXPERIMENTS.md.
+``python -m repro experiment --markdown`` regenerates the full-size sweep
+recorded in EXPERIMENTS.md (``--jobs``/``--out``/``--resume`` parallelise and
+checkpoint it).
 """
 
 from repro.experiments.config import ExperimentConfig
@@ -23,7 +28,12 @@ from repro.experiments import (
     exp_kleinberg,
     exp_ball_ablation,
 )
-from repro.experiments.runner import run_all, EXPERIMENT_MODULES
+from repro.experiments.runner import (
+    EXPERIMENT_MODULES,
+    SweepExecutor,
+    results_from_artifacts,
+    run_all,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -36,5 +46,7 @@ __all__ = [
     "exp_kleinberg",
     "exp_ball_ablation",
     "run_all",
+    "results_from_artifacts",
+    "SweepExecutor",
     "EXPERIMENT_MODULES",
 ]

@@ -1,20 +1,134 @@
-"""Shared building blocks for the experiment modules."""
+"""Shared building blocks for the experiment modules.
+
+The experiment pipeline is *cell-based*: every experiment decomposes into
+independent **cells** keyed ``(family, n)`` — one generated graph instance and
+every scheme the experiment measures on it.  Each exp module exposes
+
+* ``cell_keys(config)``     — the list of ``(family, n)`` cells of its sweep,
+* ``run_cell(config, family, n)`` — compute one cell, returning a JSON-safe
+  payload (this is the unit of work the
+  :class:`~repro.experiments.runner.SweepExecutor` fans out over processes and
+  persists as an artifact),
+* ``assemble(config, cells)`` — fold the cell payloads back into an
+  :class:`~repro.analysis.reporting.ExperimentResult` (pure, deterministic, so
+  reports can be regenerated from artifacts alone), and
+* ``run(config)``            — the classic one-call API, implemented as
+  ``assemble`` over locally computed cells.
+
+Within a cell every scheme shares a single :class:`DistanceOracle`, so the
+BFS array computed for a routing target under the first scheme is a cache hit
+for every other scheme (the pair samplers are seeded per cell, hence identical
+across schemes).  This is the redundancy the oracle exists to eliminate:
+before the cell refactor each ``estimate_greedy_diameter`` call built a
+private oracle and every scheme re-ran the same BFS sweeps from scratch.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Tuple
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import SeriesResult
 from repro.core.base import AugmentationScheme
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
 from repro.graphs.graph import Graph
-from repro.routing.simulator import RoutingEstimate, estimate_greedy_diameter
+from repro.graphs.oracle import DistanceOracle
+from repro.routing.simulator import (
+    RoutingEstimate,
+    estimate_expected_steps,
+    estimate_greedy_diameter,
+)
 
-__all__ = ["GraphFactory", "SchemeFactory", "measure_scaling", "standard_graph_families"]
+__all__ = [
+    "GraphFactory",
+    "SchemeFactory",
+    "OracleFactory",
+    "CellPayload",
+    "GraphInstance",
+    "SweepCache",
+    "derive_cell_seed",
+    "make_oracle",
+    "route_point",
+    "scaling_cell",
+    "collect_series",
+    "run_experiment",
+    "measure_scaling",
+    "standard_graph_families",
+]
 
 GraphFactory = Callable[[int, int], Graph]
-SchemeFactory = Callable[[Graph, int], AugmentationScheme]
+#: Builds a scheme for one cell: ``(graph, seed, oracle) -> scheme``.  Schemes
+#: that can pool BFS work (e.g. ``BallScheme``) should pass the oracle through;
+#: the others simply ignore it.
+SchemeFactory = Callable[[Graph, int, DistanceOracle], AugmentationScheme]
+#: Builds the per-cell oracle; tests inject counting/recording factories here.
+OracleFactory = Callable[[Graph], DistanceOracle]
+#: JSON-safe payload of one computed cell (see :func:`scaling_cell`).
+CellPayload = Dict[str, object]
+
+
+def derive_cell_seed(master_seed: int, experiment_id: str, family: str, n: int) -> int:
+    """Deterministic per-cell seed, independent of cell execution order.
+
+    The seed depends only on ``(master_seed, experiment_id, family, n)`` so a
+    cell computes identical numbers whether it runs serially, in a process
+    pool, or alone during a ``--resume`` backfill.
+    """
+    key = f"{master_seed}:{experiment_id}:{family}:{n}".encode()
+    return int.from_bytes(hashlib.sha256(key).digest()[:4], "big") & 0x7FFFFFFF
+
+
+def make_oracle(oracle_factory: Optional[OracleFactory], graph: Graph) -> DistanceOracle:
+    """Instantiate the cell oracle (default :class:`DistanceOracle`)."""
+    factory = oracle_factory if oracle_factory is not None else DistanceOracle
+    return factory(graph)
+
+
+@dataclass
+class GraphInstance:
+    """One generated graph plus the oracle shared by everything measured on it."""
+
+    family: str
+    requested_n: int
+    seed: int
+    graph: Graph
+    oracle: DistanceOracle
+
+
+class SweepCache:
+    """Cache of :class:`GraphInstance` keyed ``(family, n)``.
+
+    Shared between successive :func:`measure_scaling` calls (one per scheme)
+    so every scheme of an experiment sees the *same* graph instance and pools
+    BFS arrays through the same oracle.
+    """
+
+    def __init__(self, *, oracle_factory: Optional[OracleFactory] = None) -> None:
+        self._oracle_factory = oracle_factory
+        self._instances: Dict[Tuple[str, int], GraphInstance] = {}
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def instance(
+        self, family: str, n: int, seed: int, graph_factory: GraphFactory
+    ) -> GraphInstance:
+        """Return the cached instance for ``(family, n)``, generating on miss."""
+        key = (family, n)
+        inst = self._instances.get(key)
+        if inst is None:
+            graph = graph_factory(n, seed)
+            inst = GraphInstance(
+                family=family,
+                requested_n=n,
+                seed=seed,
+                graph=graph,
+                oracle=make_oracle(self._oracle_factory, graph),
+            )
+            self._instances[key] = inst
+        return inst
 
 
 def standard_graph_families() -> Dict[str, GraphFactory]:
@@ -37,6 +151,116 @@ def standard_graph_families() -> Dict[str, GraphFactory]:
     }
 
 
+def route_point(
+    graph: Graph,
+    scheme: AugmentationScheme,
+    config: ExperimentConfig,
+    *,
+    seed: int,
+    oracle: DistanceOracle,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Dict[str, object]:
+    """Route one (graph, scheme) measurement point; returns a JSON-safe dict.
+
+    With ``pairs`` the expected steps over exactly those pairs are estimated
+    (the lower-bound experiments route the proofs' hard pairs); without, the
+    config's pair strategy samples diameter-biased pairs.  Either way the
+    shared *oracle* serves every distance array.
+    """
+    if pairs is not None:
+        estimate: RoutingEstimate = estimate_expected_steps(
+            graph, scheme, pairs, trials=config.trials, seed=seed, oracle=oracle
+        )
+    else:
+        estimate = estimate_greedy_diameter(
+            graph,
+            scheme,
+            num_pairs=config.num_pairs,
+            trials=config.trials,
+            seed=seed,
+            pair_strategy=config.pair_strategy,
+            oracle=oracle,
+        )
+    return {
+        "n": int(graph.num_nodes),
+        "value": float(estimate.diameter),
+        "mean": float(estimate.mean),
+        "long_link_fraction": float(estimate.long_link_fraction),
+        "failed_trials": int(estimate.failed_trials),
+    }
+
+
+def scaling_cell(
+    experiment_id: str,
+    family: str,
+    n: int,
+    graph_factory: GraphFactory,
+    scheme_factories: Dict[str, SchemeFactory],
+    config: ExperimentConfig,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> CellPayload:
+    """Compute one standard scaling cell: every scheme on one graph instance.
+
+    The returned payload is JSON-serializable::
+
+        {"family": ..., "requested_n": ..., "seed": ...,
+         "series": {series_name: route_point(...), ...}}
+
+    All schemes share one oracle, so with a deterministic per-cell seed the
+    second and later schemes hit the cached BFS arrays of the first.
+    """
+    seed = derive_cell_seed(config.seed, experiment_id, family, n)
+    graph = graph_factory(n, seed)
+    oracle = make_oracle(oracle_factory, graph)
+    series: Dict[str, Dict[str, object]] = {}
+    for series_name, factory in scheme_factories.items():
+        scheme = factory(graph, seed, oracle)
+        series[series_name] = route_point(graph, scheme, config, seed=seed, oracle=oracle)
+    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": series}
+
+
+def collect_series(
+    cells: Dict[Tuple[str, int], CellPayload],
+    family: str,
+    series_name: str,
+    config: ExperimentConfig,
+    *,
+    metadata_key: Optional[str] = "long_link_fraction",
+) -> SeriesResult:
+    """Fold the per-cell payloads of one ``(family, series)`` into a curve.
+
+    Cells missing from *cells* (e.g. filtered out) are skipped, so a partial
+    artifact directory still assembles into a partial-but-valid report.
+    """
+    series = SeriesResult(name=series_name)
+    for n in config.effective_sizes():
+        payload = cells.get((family, n))
+        if payload is None:
+            continue
+        point = payload["series"].get(series_name)  # type: ignore[union-attr]
+        if point is None:
+            continue
+        series.add(point["n"], point["value"])
+        if metadata_key is not None and metadata_key in point:
+            series.metadata[f"{metadata_key}_n{point['n']}"] = float(point[metadata_key])
+    return series
+
+
+def run_experiment(module, config: Optional[ExperimentConfig] = None, *, oracle_factory=None):
+    """Default ``run()`` implementation: compute every cell locally, assemble.
+
+    *module* is an experiment module following the cell protocol documented in
+    the module docstring above.
+    """
+    config = config or ExperimentConfig.full()
+    cells = {
+        (family, n): module.run_cell(config, family, n, oracle_factory=oracle_factory)
+        for family, n in module.cell_keys(config)
+    }
+    return module.assemble(config, cells)
+
+
 def measure_scaling(
     family_name: str,
     graph_factory: GraphFactory,
@@ -45,45 +269,39 @@ def measure_scaling(
     *,
     series_name: Optional[str] = None,
     quantity: str = "diameter",
-    graph_cache: Optional[Dict[Tuple[str, int], Graph]] = None,
+    cache: Optional[SweepCache] = None,
+    experiment_id: str = "",
 ) -> SeriesResult:
     """Measure the greedy-diameter scaling of one (family, scheme) combination.
 
     Parameters
     ----------
     family_name:
-        Name used for caching and for the default series name.
+        Name used for caching, seeding and for the default series name.
     graph_factory, scheme_factory:
-        Build the graph for a size and the scheme for a graph.
+        Build the graph for a size and the scheme for a
+        ``(graph, seed, oracle)`` triple.
     config:
         Sweep parameters.
     quantity:
         ``"diameter"`` (max per-pair mean — the greedy diameter) or
         ``"mean"`` (average over pairs).
-    graph_cache:
-        Optional cache shared between schemes so each graph instance is
-        generated once per experiment.
+    cache:
+        Optional :class:`SweepCache` shared between schemes so each graph
+        instance is generated once — and, crucially, so every scheme measured
+        on it shares one :class:`DistanceOracle` and reuses its BFS arrays.
+    experiment_id:
+        Folded into the per-size seeds so different experiments decorrelate.
     """
+    if quantity not in ("diameter", "mean"):
+        raise ValueError(f"unknown quantity {quantity!r}; use 'diameter' or 'mean'")
+    cache = cache if cache is not None else SweepCache()
     series = SeriesResult(name=series_name or family_name)
-    for idx, n in enumerate(config.effective_sizes()):
-        seed = config.seed + idx
-        key = (family_name, n)
-        if graph_cache is not None and key in graph_cache:
-            graph = graph_cache[key]
-        else:
-            graph = graph_factory(n, seed)
-            if graph_cache is not None:
-                graph_cache[key] = graph
-        scheme = scheme_factory(graph, seed)
-        estimate: RoutingEstimate = estimate_greedy_diameter(
-            graph,
-            scheme,
-            num_pairs=config.num_pairs,
-            trials=config.trials,
-            seed=seed,
-            pair_strategy=config.pair_strategy,
-        )
-        value = estimate.diameter if quantity == "diameter" else estimate.mean
-        series.add(graph.num_nodes, value)
-        series.metadata[f"long_link_fraction_n{graph.num_nodes}"] = estimate.long_link_fraction
+    for n in config.effective_sizes():
+        seed = derive_cell_seed(config.seed, experiment_id, family_name, n)
+        inst = cache.instance(family_name, n, seed, graph_factory)
+        scheme = scheme_factory(inst.graph, seed, inst.oracle)
+        point = route_point(inst.graph, scheme, config, seed=seed, oracle=inst.oracle)
+        series.add(point["n"], point["value"] if quantity == "diameter" else point["mean"])
+        series.metadata[f"long_link_fraction_n{point['n']}"] = point["long_link_fraction"]
     return series

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional
 
 __all__ = ["ExperimentConfig"]
 
@@ -44,6 +44,16 @@ class ExperimentConfig:
     def scaled(self, **changes) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """JSON-safe dict identifying this configuration.
+
+        Stored inside every persisted sweep artifact and compared on
+        ``--resume``: an artifact computed under a different fingerprint is
+        recomputed rather than silently mixed into the report.  The dict
+        round-trips through ``ExperimentConfig(**fingerprint)``.
+        """
+        return asdict(self)
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":

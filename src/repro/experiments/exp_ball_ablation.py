@@ -1,10 +1,13 @@
 """EXP-8 (extension) — ablation of the ball scheme's level mixture.
 
-Theorem 4's scheme draws the radius scale ``2^k`` with ``k`` *uniform* over
-``{1, …, ⌈log n⌉}``.  The proof needs every scale: small balls finish the
-route near the target (phases 4–5), large balls reach the ``n^{2/3}``-size
-target ball in the first place (phase 1), and the intermediate scales drive
-the doubling/halving argument of phases 3–4.
+Reproduces
+----------
+``EXPERIMENT_ID = "EXP-8"`` — an extension probing Theorem 4's construction.
+The theorem's scheme draws the radius scale ``2^k`` with ``k`` *uniform*
+over ``{1, …, ⌈log n⌉}``.  The proof needs every scale: small balls finish
+the route near the target (phases 4–5), large balls reach the
+``n^{2/3}``-size target ball in the first place (phase 1), and the
+intermediate scales drive the doubling/halving argument of phases 3–4.
 
 This ablation replaces the uniform level mixture by degenerate alternatives
 on the ring (where the uniform scheme is Θ(√n)-tight):
@@ -18,28 +21,57 @@ on the ring (where the uniform scheme is Θ(√n)-tight):
 
 The paper's mixture must be the only variant in the ``n^{1/3}`` regime; the
 ablation quantifies how much of the improvement each ingredient carries.
+
+Configuration knobs
+-------------------
+``sizes`` / ``max_size`` set the swept ring sizes; ``num_pairs``, ``trials``
+and ``pair_strategy`` control the Monte-Carlo effort per cell; ``seed``
+drives the deterministic per-cell seeding.
+
+Cells
+-----
+One cell per ring size; all four variants share the ring instance and one
+:class:`DistanceOracle` (the three ball variants additionally pool their
+``B(u, 2^k)`` lookups through it).
 """
 
 from __future__ import annotations
 
 import math
+import sys
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.reporting import ExperimentResult, SeriesResult
+from repro.analysis.reporting import ExperimentResult
 from repro.core.ball_scheme import BallScheme
 from repro.core.uniform import UniformScheme
+from repro.experiments.common import (
+    CellPayload,
+    OracleFactory,
+    collect_series,
+    run_experiment,
+    scaling_cell,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
-from repro.routing.simulator import estimate_greedy_diameter
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
 EXPERIMENT_ID = "EXP-8"
 TITLE = "Ablation: the ball scheme's uniform level mixture (extension)"
 PAPER_CLAIM = (
     "Theorem 4's construction mixes all radius scales 2^k, k in {1..ceil(log n)}, uniformly; "
     "the proof uses every scale, so degenerate level choices should lose the n^(1/3) behaviour."
+)
+
+FAMILY = "ring"
+
+VARIANTS = (
+    "uniform levels (paper)",
+    "smallest level only",
+    "largest level only",
+    "uniform scheme",
 )
 
 
@@ -49,47 +81,58 @@ def _one_hot(num_levels: int, level: int) -> np.ndarray:
     return probs
 
 
-def run(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run the ablation sweep on rings and return the structured result."""
-    config = config or ExperimentConfig.full()
+def cell_keys(config: ExperimentConfig) -> List[Tuple[str, int]]:
+    """One cell per ring size."""
+    return [(FAMILY, n) for n in config.effective_sizes()]
+
+
+def _levels(graph) -> int:
+    """The paper's level count ``⌈log₂ n⌉`` for the ablation's one-hot variants."""
+    return max(1, int(math.ceil(math.log2(graph.num_nodes))))
+
+
+def run_cell(
+    config: ExperimentConfig,
+    family: str,
+    n: int,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> CellPayload:
+    """Route all four level-mixture variants on one shared ring instance."""
+    return scaling_cell(
+        EXPERIMENT_ID,
+        family,
+        n,
+        lambda size, seed: generators.cycle_graph(size),
+        {
+            "uniform levels (paper)": lambda g, s, o: BallScheme(g, seed=s, oracle=o),
+            "smallest level only": lambda g, s, o: BallScheme(
+                g, radius_distribution=_one_hot(_levels(g), 1), seed=s, oracle=o
+            ),
+            "largest level only": lambda g, s, o: BallScheme(
+                g, radius_distribution=_one_hot(_levels(g), _levels(g)), seed=s, oracle=o
+            ),
+            "uniform scheme": lambda g, s, o: UniformScheme(g, seed=s),
+        },
+        config,
+        oracle_factory=oracle_factory,
+    )
+
+
+def assemble(
+    config: ExperimentConfig, cells: Dict[Tuple[str, int], CellPayload]
+) -> ExperimentResult:
+    """Fold cell payloads into the structured result (pure, artifact-friendly)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         paper_claim=PAPER_CLAIM,
-        parameters={"config": config, "family": "ring"},
+        parameters={"config": config, "family": FAMILY},
     )
-    variants = ("uniform levels (paper)", "smallest level only", "largest level only", "uniform scheme")
-    series = {name: SeriesResult(name=name) for name in variants}
-    for idx, n in enumerate(config.effective_sizes()):
-        seed = config.seed + idx
-        graph = generators.cycle_graph(n)
-        num_levels = max(1, int(math.ceil(math.log2(n))))
-        schemes = [
-            ("uniform levels (paper)", BallScheme(graph, seed=seed)),
-            (
-                "smallest level only",
-                BallScheme(graph, radius_distribution=_one_hot(num_levels, 1), seed=seed),
-            ),
-            (
-                "largest level only",
-                BallScheme(graph, radius_distribution=_one_hot(num_levels, num_levels), seed=seed),
-            ),
-            ("uniform scheme", UniformScheme(graph, seed=seed)),
-        ]
-        for name, scheme in schemes:
-            estimate = estimate_greedy_diameter(
-                graph,
-                scheme,
-                num_pairs=config.num_pairs,
-                trials=config.trials,
-                seed=seed,
-                pair_strategy=config.pair_strategy,
-            )
-            series[name].add(n, estimate.diameter)
-    for name in variants:
-        result.add_series(series[name])
+    for name in VARIANTS:
+        result.add_series(collect_series(cells, FAMILY, name, config))
 
-    fits = {name: series[name].power_law() for name in variants}
+    fits = {name: result.get_series(name).power_law() for name in VARIANTS}
     parts = [
         f"{name}: n^{fit.exponent:.2f}" for name, fit in fits.items() if fit is not None
     ]
@@ -101,6 +144,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         "scheme's sqrt(n) behaviour."
     )
     return result
+
+
+def run(
+    config: ExperimentConfig | None = None, *, oracle_factory: Optional[OracleFactory] = None
+) -> ExperimentResult:
+    """Run the ablation sweep on rings and return the structured result."""
+    return run_experiment(sys.modules[__name__], config, oracle_factory=oracle_factory)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -1,24 +1,50 @@
 """EXP-6 — Theorem 4: the ball scheme beats the √n barrier (Õ(n^{1/3})).
 
-The paper's main result: the a-posteriori scheme that picks a level ``k``
-uniformly in ``{1, …, ⌈log n⌉}`` and a contact uniform in ``B(u, 2^k)`` gives
-greedy diameter ``Õ(n^{1/3})`` on *every* graph.
+Reproduces
+----------
+``EXPERIMENT_ID = "EXP-6"`` — the paper's main result (Theorem 4): the
+a-posteriori scheme that picks a level ``k`` uniformly in
+``{1, …, ⌈log n⌉}`` and a contact uniform in ``B(u, 2^k)`` gives greedy
+diameter ``Õ(n^{1/3})`` on *every* graph.
 
 The experiment runs the ball scheme and the uniform scheme side by side on
 the standard families and compares fitted exponents: the ball scheme's
 exponent should sit clearly below the uniform scheme's on the 1-dimensional
 families (where uniform is Θ(√n)), approaching 1/3 up to polylog corrections.
+
+Configuration knobs
+-------------------
+``sizes`` / ``max_size`` set the swept ``n``; ``num_pairs``, ``trials`` and
+``pair_strategy`` control the Monte-Carlo effort per cell; ``seed`` drives
+the deterministic per-cell seeding.
+
+Cells
+-----
+One cell per ``(family, n)``; *both* schemes and the routing simulator pool
+one :class:`DistanceOracle` per cell — the ball scheme's ``B(u, 2^k)``
+lookups reuse the BFS arrays the simulator computed for the routing targets
+(and vice versa), which is the pipeline's biggest BFS saving.
 """
 
 from __future__ import annotations
 
+import sys
+from typing import Dict, List, Optional, Tuple
+
 from repro.analysis.reporting import ExperimentResult
 from repro.core.ball_scheme import BallScheme
 from repro.core.uniform import UniformScheme
-from repro.experiments.common import measure_scaling, standard_graph_families
+from repro.experiments.common import (
+    CellPayload,
+    OracleFactory,
+    collect_series,
+    run_experiment,
+    scaling_cell,
+    standard_graph_families,
+)
 from repro.experiments.config import ExperimentConfig
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
 EXPERIMENT_ID = "EXP-6"
 TITLE = "Theorem 4: ball scheme achieves ~n^(1/3) greedy diameter"
@@ -32,36 +58,53 @@ PAPER_CLAIM = (
 _ONE_DIMENSIONAL = ("ring", "path", "lollipop")
 
 
-def run(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run the sweep and return the structured result."""
-    config = config or ExperimentConfig.full()
+def cell_keys(config: ExperimentConfig) -> List[Tuple[str, int]]:
+    """One cell per (family, n)."""
+    return [
+        (family, n)
+        for family in standard_graph_families()
+        for n in config.effective_sizes()
+    ]
+
+
+def run_cell(
+    config: ExperimentConfig,
+    family: str,
+    n: int,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> CellPayload:
+    """Route the ball and uniform schemes on one shared (family, n) instance."""
+    factory = standard_graph_families()[family]
+    return scaling_cell(
+        EXPERIMENT_ID,
+        family,
+        n,
+        factory,
+        {
+            f"ball/{family}": lambda graph, seed, oracle: BallScheme(
+                graph, seed=seed, oracle=oracle
+            ),
+            f"uniform/{family}": lambda graph, seed, oracle: UniformScheme(graph, seed=seed),
+        },
+        config,
+        oracle_factory=oracle_factory,
+    )
+
+
+def assemble(
+    config: ExperimentConfig, cells: Dict[Tuple[str, int], CellPayload]
+) -> ExperimentResult:
+    """Fold cell payloads into the structured result (pure, artifact-friendly)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         paper_claim=PAPER_CLAIM,
         parameters={"config": config},
     )
-    families = standard_graph_families()
-    cache: dict = {}
-    for family_name, factory in families.items():
-        ball_series = measure_scaling(
-            family_name,
-            factory,
-            lambda graph, seed: BallScheme(graph, seed=seed),
-            config,
-            series_name=f"ball/{family_name}",
-            graph_cache=cache,
-        )
-        result.add_series(ball_series)
-        uniform_series = measure_scaling(
-            family_name,
-            factory,
-            lambda graph, seed: UniformScheme(graph, seed=seed),
-            config,
-            series_name=f"uniform/{family_name}",
-            graph_cache=cache,
-        )
-        result.add_series(uniform_series)
+    for family in standard_graph_families():
+        result.add_series(collect_series(cells, family, f"ball/{family}", config))
+        result.add_series(collect_series(cells, family, f"uniform/{family}", config))
     gaps = []
     for family_name in _ONE_DIMENSIONAL:
         try:
@@ -78,6 +121,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         "(modulo polylog factors)."
     )
     return result
+
+
+def run(
+    config: ExperimentConfig | None = None, *, oracle_factory: Optional[OracleFactory] = None
+) -> ExperimentResult:
+    """Run the sweep and return the structured result."""
+    return run_experiment(sys.modules[__name__], config, oracle_factory=oracle_factory)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -1,7 +1,10 @@
 """EXP-3 — Theorem 2: the (M, L) scheme routes in O(min{ps(G)·log² n, √n}).
 
-The matrix ``M = (A + U)/2`` combines two components whose roles the proof
-separates explicitly:
+Reproduces
+----------
+``EXPERIMENT_ID = "EXP-3"`` — Theorem 2's upper bound.  The matrix
+``M = (A + U)/2`` combines two components whose roles the proof separates
+explicitly:
 
 * the ancestor matrix ``A`` (together with the labeling ``L`` derived from a
   path decomposition) performs the dyadic landmark jumps that give
@@ -14,24 +17,48 @@ than ``√n``, so the min in the bound is attained by the √n term and the full
 (M, L) scheme is expected to track the uniform scheme within a factor ≈ 2 on
 every family — that is the first check.  To expose the polylog component the
 experiment also runs the ancestor-only variant (``uniform_mixture = 0``): on
-small-pathshape families (path, caterpillar, random tree) its fitted growth
+small-pathshape families (path, caterpillar, spider) its fitted growth
 exponent must fall well below the uniform scheme's ≈ 0.5, while on the
 large-pathshape control (2-D torus) it degrades — exactly the behaviour the
 mixture is designed to repair.
+
+Configuration knobs
+-------------------
+``sizes`` / ``max_size`` set the swept ``n``; ``num_pairs``, ``trials`` and
+``pair_strategy`` control the Monte-Carlo effort per cell; ``seed`` drives
+the deterministic per-cell seeding.
+
+Cells
+-----
+One cell per ``(family, n)``; the three schemes (full (M, L), ancestor-only,
+uniform) share the cell's graph, its path decomposition work and one
+:class:`DistanceOracle` — identical per-cell pair seeds make the second and
+third schemes' target-distance lookups pure cache hits.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import sys
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import ExperimentResult
 from repro.core.matrix_label import Theorem2Scheme
 from repro.core.uniform import UniformScheme
-from repro.experiments.common import GraphFactory, measure_scaling
+from repro.decomposition.pathshape import estimate_pathshape
+from repro.experiments.common import (
+    CellPayload,
+    GraphFactory,
+    OracleFactory,
+    collect_series,
+    derive_cell_seed,
+    make_oracle,
+    route_point,
+    run_experiment,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
 EXPERIMENT_ID = "EXP-3"
 TITLE = "Theorem 2: the (M, L) matrix + labeling scheme"
@@ -58,63 +85,72 @@ SMALL_PATHSHAPE = ("path", "caterpillar", "spider")
 LARGE_PATHSHAPE = ("torus2d",)
 
 
-def run(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run the sweep and return the structured result."""
-    config = config or ExperimentConfig.full()
+def cell_keys(config: ExperimentConfig) -> List[Tuple[str, int]]:
+    """One cell per (family, n)."""
+    return [(family, n) for family in _families() for n in config.effective_sizes()]
+
+
+def run_cell(
+    config: ExperimentConfig,
+    family: str,
+    n: int,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> CellPayload:
+    """Route the three scheme variants on one shared (family, n) instance.
+
+    The path decomposition is estimated once per cell and handed to both
+    Theorem-2 variants (it depends only on the graph, not on the mixture).
+    """
+    seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
+    graph = _families()[family](n, seed)
+    oracle = make_oracle(oracle_factory, graph)
+    decomposition = estimate_pathshape(graph).decomposition
+    schemes = [
+        (f"theorem2/{family}", Theorem2Scheme(graph, decomposition, seed=seed)),
+        (
+            f"ancestor_only/{family}",
+            Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=seed),
+        ),
+        (f"uniform/{family}", UniformScheme(graph, seed=seed)),
+    ]
+    series = {
+        name: route_point(graph, scheme, config, seed=seed, oracle=oracle)
+        for name, scheme in schemes
+    }
+    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": series}
+
+
+def assemble(
+    config: ExperimentConfig, cells: Dict[Tuple[str, int], CellPayload]
+) -> ExperimentResult:
+    """Fold cell payloads into the structured result (pure, artifact-friendly)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         paper_claim=PAPER_CLAIM,
         parameters={"config": config},
     )
-    cache: dict = {}
-    for family_name, factory in _families().items():
-        result.add_series(
-            measure_scaling(
-                family_name,
-                factory,
-                lambda graph, seed: Theorem2Scheme(graph, seed=seed),
-                config,
-                series_name=f"theorem2/{family_name}",
-                graph_cache=cache,
-            )
-        )
-        result.add_series(
-            measure_scaling(
-                family_name,
-                factory,
-                lambda graph, seed: Theorem2Scheme(graph, uniform_mixture=0.0, seed=seed),
-                config,
-                series_name=f"ancestor_only/{family_name}",
-                graph_cache=cache,
-            )
-        )
-        result.add_series(
-            measure_scaling(
-                family_name,
-                factory,
-                lambda graph, seed: UniformScheme(graph, seed=seed),
-                config,
-                series_name=f"uniform/{family_name}",
-                graph_cache=cache,
-            )
-        )
+    for family in _families():
+        result.add_series(collect_series(cells, family, f"theorem2/{family}", config))
+        result.add_series(collect_series(cells, family, f"ancestor_only/{family}", config))
+        result.add_series(collect_series(cells, family, f"uniform/{family}", config))
 
     # Check 1: the full (M, L) scheme stays within a small factor of uniform everywhere.
     worst_ratio = 0.0
-    for family_name in _families():
-        t2 = result.get_series(f"theorem2/{family_name}")
-        uni = result.get_series(f"uniform/{family_name}")
+    for family in _families():
+        t2 = result.get_series(f"theorem2/{family}")
+        uni = result.get_series(f"uniform/{family}")
         for v_t2, v_uni in zip(t2.values, uni.values):
             if v_uni > 0:
                 worst_ratio = max(worst_ratio, v_t2 / v_uni)
     # Check 2: the ancestor component beats the sqrt(n) exponent on small-pathshape families.
     gaps = []
-    for family_name in SMALL_PATHSHAPE:
-        anc = result.get_series(f"ancestor_only/{family_name}").power_law()
-        uni = result.get_series(f"uniform/{family_name}").power_law()
+    for family in SMALL_PATHSHAPE:
+        anc = result.get_series(f"ancestor_only/{family}").power_law()
+        uni = result.get_series(f"uniform/{family}").power_law()
         if anc and uni:
-            gaps.append((family_name, uni.exponent - anc.exponent))
+            gaps.append((family, uni.exponent - anc.exponent))
     gap_text = ", ".join(f"{fam}: {gap:+.3f}" for fam, gap in gaps)
     result.conclusion = (
         f"(M,L) vs uniform worst-case ratio {worst_ratio:.2f} (the U component preserves the "
@@ -122,6 +158,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         f"small-pathshape families: {gap_text} (the A component captures the ps(G)*log^2 n branch)."
     )
     return result
+
+
+def run(
+    config: ExperimentConfig | None = None, *, oracle_factory: Optional[OracleFactory] = None
+) -> ExperimentResult:
+    """Run the sweep and return the structured result."""
+    return run_experiment(sys.modules[__name__], config, oracle_factory=oracle_factory)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -1,7 +1,10 @@
 """EXP-2 — Theorem 1: no name-independent matrix scheme beats Ω(√n) on the path.
 
-For *any* augmentation matrix ``A`` there is a labeling of the n-node path on
-which greedy routing needs ``Ω(√n)`` expected steps: the proof exhibits a set
+Reproduces
+----------
+``EXPERIMENT_ID = "EXP-2"`` — Theorem 1's lower bound.  For *any*
+augmentation matrix ``A`` there is a labeling of the n-node path on which
+greedy routing needs ``Ω(√n)`` expected steps: the proof exhibits a set
 ``I`` of ``√n`` labels with internal probability mass below one, places those
 labels on ``√n`` consecutive path nodes and routes between two nodes inside
 that segment — with constant probability no long-range link lands inside the
@@ -16,11 +19,25 @@ the barrier — which is the empirical face of the lower bound.  As a contrast,
 the same matrices under the *favourable* identity labeling are also measured
 (the harmonic matrix then routes polylogarithmically, showing that the
 adversarial labeling, not the matrix, is what forces √n).
+
+Configuration knobs
+-------------------
+``sizes`` / ``max_size`` set the swept path lengths; ``trials`` controls the
+long-link resamplings on the proof's hard pair (``num_pairs`` and
+``pair_strategy`` are unused — the pairs come from the proof); ``seed``
+drives the per-cell adversarial labeling and routing streams.
+
+Cells
+-----
+One cell per ``(matrix, n)``: the adversarial and identity labelings route
+the *same* hard pair on the same path instance, so the second labeling's
+distance lookups are pure cache hits on the shared oracle.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import ExperimentResult, SeriesResult
 from repro.core.adversarial import adversarial_path_labeling
@@ -31,12 +48,18 @@ from repro.core.matrix import (
     harmonic_label_matrix,
     uniform_matrix,
 )
+from repro.experiments.common import (
+    CellPayload,
+    OracleFactory,
+    derive_cell_seed,
+    make_oracle,
+    route_point,
+    run_experiment,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
-from repro.routing.simulator import estimate_expected_steps
-from repro.utils.rng import ensure_rng
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
 EXPERIMENT_ID = "EXP-2"
 TITLE = "Theorem 1: name-independent matrix schemes hit the sqrt(n) barrier on the path"
@@ -56,45 +79,71 @@ def _candidate_matrices() -> Dict[str, MatrixFactory]:
     }
 
 
-def run(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run the sweep and return the structured result."""
-    config = config or ExperimentConfig.full()
+def cell_keys(config: ExperimentConfig) -> List[Tuple[str, int]]:
+    """One cell per (candidate matrix, n)."""
+    return [
+        (matrix_name, n)
+        for matrix_name in _candidate_matrices()
+        for n in config.effective_sizes()
+    ]
+
+
+def run_cell(
+    config: ExperimentConfig,
+    family: str,
+    n: int,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> CellPayload:
+    """Route one matrix under the adversarial and identity labelings."""
+    seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
+    graph = generators.path_graph(n)
+    oracle = make_oracle(oracle_factory, graph)
+    matrix = _candidate_matrices()[family](n)
+    # Adversarial labeling + the proof's hard (s, t) pair.
+    instance = adversarial_path_labeling(matrix, n, seed=seed)
+    pairs = [(instance.source, instance.target), (instance.target, instance.source)]
+    adversarial = MatrixScheme(graph, matrix, labels=instance.labels, seed=seed)
+    adversarial_point = route_point(
+        graph, adversarial, config, seed=seed, oracle=oracle, pairs=pairs
+    )
+    adversarial_point["internal_mass"] = float(instance.internal_mass)
+    # Favourable identity labeling, same hard pair positions, for contrast.
+    friendly = MatrixScheme(graph, matrix, labels=None, seed=seed)
+    friendly_point = route_point(graph, friendly, config, seed=seed, oracle=oracle, pairs=pairs)
+    return {
+        "family": family,
+        "requested_n": int(n),
+        "seed": int(seed),
+        "series": {
+            f"adversarial/{family}": adversarial_point,
+            f"identity/{family}": friendly_point,
+        },
+    }
+
+
+def assemble(
+    config: ExperimentConfig, cells: Dict[Tuple[str, int], CellPayload]
+) -> ExperimentResult:
+    """Fold cell payloads into the structured result (pure, artifact-friendly)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         paper_claim=PAPER_CLAIM,
         parameters={"config": config},
     )
-    rng = ensure_rng(config.seed)
-    for matrix_name, matrix_factory in _candidate_matrices().items():
+    for matrix_name in _candidate_matrices():
         adversarial_series = SeriesResult(name=f"adversarial/{matrix_name}")
         friendly_series = SeriesResult(name=f"identity/{matrix_name}")
-        for idx, n in enumerate(config.effective_sizes()):
-            seed = config.seed + idx
-            graph = generators.path_graph(n)
-            matrix = matrix_factory(n)
-            # Adversarial labeling + the proof's hard (s, t) pair.
-            instance = adversarial_path_labeling(matrix, n, seed=int(rng.integers(0, 2**31 - 1)))
-            scheme = MatrixScheme(graph, matrix, labels=instance.labels, seed=seed)
-            estimate = estimate_expected_steps(
-                graph,
-                scheme,
-                [(instance.source, instance.target), (instance.target, instance.source)],
-                trials=config.trials,
-                seed=seed,
-            )
-            adversarial_series.add(n, estimate.diameter)
-            adversarial_series.metadata[f"internal_mass_n{n}"] = instance.internal_mass
-            # Favourable identity labeling, same hard pair positions, for contrast.
-            friendly = MatrixScheme(graph, matrix, labels=None, seed=seed)
-            friendly_estimate = estimate_expected_steps(
-                graph,
-                friendly,
-                [(instance.source, instance.target), (instance.target, instance.source)],
-                trials=config.trials,
-                seed=seed,
-            )
-            friendly_series.add(n, friendly_estimate.diameter)
+        for n in config.effective_sizes():
+            payload = cells.get((matrix_name, n))
+            if payload is None:
+                continue
+            adv = payload["series"][f"adversarial/{matrix_name}"]
+            adversarial_series.add(adv["n"], adv["value"])
+            adversarial_series.metadata[f"internal_mass_n{adv['n']}"] = adv["internal_mass"]
+            fri = payload["series"][f"identity/{matrix_name}"]
+            friendly_series.add(fri["n"], fri["value"])
         result.add_series(adversarial_series)
         result.add_series(friendly_series)
 
@@ -110,6 +159,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         "the worst-case labeling, not from the matrices themselves."
     )
     return result
+
+
+def run(
+    config: ExperimentConfig | None = None, *, oracle_factory: Optional[OracleFactory] = None
+) -> ExperimentResult:
+    """Run the sweep and return the structured result."""
+    return run_experiment(sys.modules[__name__], config, oracle_factory=oracle_factory)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

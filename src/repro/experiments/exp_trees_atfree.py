@@ -1,6 +1,9 @@
 """EXP-4 — Corollary 1: trees and AT-free graphs route polylogarithmically under (M, L).
 
-Corollary 1 instantiates Theorem 2 on two families:
+Reproduces
+----------
+``EXPERIMENT_ID = "EXP-4"`` — Corollary 1, which instantiates Theorem 2 on
+two families:
 
 * **trees** — treewidth 1, hence pathwidth (and pathshape) ``O(log n)`` via
   the centroid conversion, giving greedy diameter ``O(log³ n)``;
@@ -20,23 +23,44 @@ Tree representatives are caterpillars and spiders (diameter ``Θ(n)`` — the
 regime where the claim is falsifiable); the AT-free representative is a
 connected random interval graph whose exact clique-path decomposition (the
 pathshape-1 witness) is handed to the scheme.
+
+Configuration knobs
+-------------------
+``sizes`` / ``max_size`` set the swept ``n``; ``num_pairs``, ``trials`` and
+``pair_strategy`` control the Monte-Carlo effort per cell; ``seed`` drives
+the per-cell instance generation (random interval graphs) and routing
+streams.
+
+Cells
+-----
+One cell per ``(family, n)``; the instance (graph + exact decomposition) is
+built once and all three schemes share it and one :class:`DistanceOracle`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.analysis.reporting import ExperimentResult, SeriesResult
+from repro.analysis.reporting import ExperimentResult
 from repro.analysis.scaling import fit_polylog
 from repro.core.matrix_label import Theorem2Scheme
 from repro.core.uniform import UniformScheme
 from repro.decomposition.exact import path_decomposition_of_interval_graph
+from repro.experiments.common import (
+    CellPayload,
+    OracleFactory,
+    collect_series,
+    derive_cell_seed,
+    make_oracle,
+    route_point,
+    run_experiment,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
 from repro.graphs.graph import Graph
-from repro.routing.simulator import estimate_greedy_diameter
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
 EXPERIMENT_ID = "EXP-4"
 TITLE = "Corollary 1: trees (log^3 n) and AT-free graphs (log^2 n)"
@@ -44,6 +68,8 @@ PAPER_CLAIM = (
     "The scheme of Theorem 2 yields greedy diameter O(log^3 n) on n-node trees and "
     "O(log^2 n) on AT-free graphs (Corollary 1)."
 )
+
+InstanceFactory = Callable[[int, int], Tuple[Graph, object]]
 
 
 def _interval_instance(n: int, seed: int) -> Tuple[Graph, object]:
@@ -53,7 +79,7 @@ def _interval_instance(n: int, seed: int) -> Tuple[Graph, object]:
     return graph, decomposition
 
 
-def _tree_instances() -> Dict[str, object]:
+def _tree_instances() -> Dict[str, InstanceFactory]:
     return {
         "tree/caterpillar": lambda n, seed: (generators.caterpillar_graph(max(2, n // 2), 1), None),
         "tree/spider": lambda n, seed: (generators.spider_graph(4, max(1, (n - 1) // 4)), None),
@@ -65,52 +91,64 @@ def _tree_instances() -> Dict[str, object]:
 _POLYLOG_DEGREE = {"tree": 3.0, "atfree": 2.0}
 
 
-def run(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run the sweep and return the structured result."""
-    config = config or ExperimentConfig.full()
+def cell_keys(config: ExperimentConfig) -> List[Tuple[str, int]]:
+    """One cell per (family, n)."""
+    return [(family, n) for family in _tree_instances() for n in config.effective_sizes()]
+
+
+def run_cell(
+    config: ExperimentConfig,
+    family: str,
+    n: int,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> CellPayload:
+    """Route the three scheme variants on one shared instance + decomposition."""
+    seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
+    graph, decomposition = _tree_instances()[family](n, seed)
+    oracle = make_oracle(oracle_factory, graph)
+    schemes = [
+        (
+            f"ancestor_only/{family}",
+            Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=seed),
+        ),
+        (f"theorem2/{family}", Theorem2Scheme(graph, decomposition, seed=seed)),
+        (f"uniform/{family}", UniformScheme(graph, seed=seed)),
+    ]
+    series = {
+        name: route_point(graph, scheme, config, seed=seed, oracle=oracle)
+        for name, scheme in schemes
+    }
+    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": series}
+
+
+def assemble(
+    config: ExperimentConfig, cells: Dict[Tuple[str, int], CellPayload]
+) -> ExperimentResult:
+    """Fold cell payloads into the structured result (pure, artifact-friendly)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         paper_claim=PAPER_CLAIM,
         parameters={"config": config},
     )
-    for family_name, instance_factory in _tree_instances().items():
-        ancestor_series = SeriesResult(name=f"ancestor_only/{family_name}")
-        full_series = SeriesResult(name=f"theorem2/{family_name}")
-        uniform_series = SeriesResult(name=f"uniform/{family_name}")
-        for idx, n in enumerate(config.effective_sizes()):
-            seed = config.seed + idx
-            graph, decomposition = instance_factory(n, seed)
-            schemes = [
-                (ancestor_series, Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=seed)),
-                (full_series, Theorem2Scheme(graph, decomposition, seed=seed)),
-                (uniform_series, UniformScheme(graph, seed=seed)),
-            ]
-            for series, scheme in schemes:
-                estimate = estimate_greedy_diameter(
-                    graph,
-                    scheme,
-                    num_pairs=config.num_pairs,
-                    trials=config.trials,
-                    seed=seed,
-                    pair_strategy=config.pair_strategy,
-                )
-                series.add(graph.num_nodes, estimate.diameter)
-        for series in (ancestor_series, full_series, uniform_series):
-            result.add_series(series)
+    for family in _tree_instances():
+        result.add_series(collect_series(cells, family, f"ancestor_only/{family}", config))
+        result.add_series(collect_series(cells, family, f"theorem2/{family}", config))
+        result.add_series(collect_series(cells, family, f"uniform/{family}", config))
 
     # Conclusion: exponent gaps + polylog envelope ratios for the ancestor-driven scheme.
     notes = []
-    for family_name in _tree_instances():
-        prefix = family_name.split("/", 1)[0]
+    for family in _tree_instances():
+        prefix = family.split("/", 1)[0]
         degree = _POLYLOG_DEGREE[prefix]
-        anc = result.get_series(f"ancestor_only/{family_name}")
-        uni = result.get_series(f"uniform/{family_name}")
+        anc = result.get_series(f"ancestor_only/{family}")
+        uni = result.get_series(f"uniform/{family}")
         anc_fit, uni_fit = anc.power_law(), uni.power_law()
         polylog = fit_polylog(anc.sizes, anc.values, degree) if anc.sizes else None
         if anc_fit and uni_fit and polylog:
             notes.append(
-                f"{family_name}: exponent {anc_fit.exponent:.2f} vs uniform {uni_fit.exponent:.2f}, "
+                f"{family}: exponent {anc_fit.exponent:.2f} vs uniform {uni_fit.exponent:.2f}, "
                 f"log^{degree:g} envelope spread {polylog.ratio_spread:.2f}"
             )
     result.conclusion = (
@@ -119,6 +157,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         "corollary's polylog bounds."
     )
     return result
+
+
+def run(
+    config: ExperimentConfig | None = None, *, oracle_factory: Optional[OracleFactory] = None
+) -> ExperimentResult:
+    """Run the sweep and return the structured result."""
+    return run_experiment(sys.modules[__name__], config, oracle_factory=oracle_factory)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -1,21 +1,46 @@
 """EXP-1 — the uniform scheme is universal with greedy diameter O(√n) (Peleg's bound).
 
-The paper recalls (Introduction) that giving every node a uniformly random
-long-range contact makes *every* n-node graph ``O(√n)``-navigable.  The
-experiment sweeps graph families and sizes, estimates the greedy diameter of
-``(G, φ_unif)`` and fits the growth exponent: it should be at most ≈ 0.5
-everywhere, and very close to 0.5 on the 1-dimensional families (ring, path)
-where the bound is tight.
+Reproduces
+----------
+``EXPERIMENT_ID = "EXP-1"``.  The paper recalls (Introduction) that giving
+every node a uniformly random long-range contact makes *every* n-node graph
+``O(√n)``-navigable.  The experiment sweeps graph families and sizes,
+estimates the greedy diameter of ``(G, φ_unif)`` and fits the growth
+exponent: it should be at most ≈ 0.5 everywhere, and very close to 0.5 on
+the 1-dimensional families (ring, path) where the bound is tight.
+
+Configuration knobs
+-------------------
+``sizes`` / ``max_size`` set the swept ``n`` (one sweep cell per
+``(family, n)``); ``num_pairs``, ``trials`` and ``pair_strategy`` control the
+Monte-Carlo effort per cell; ``seed`` drives the deterministic per-cell
+seeding (see :func:`repro.experiments.common.derive_cell_seed`).
+
+Cells
+-----
+One cell per ``(family, n)`` over :func:`standard_graph_families`; the single
+uniform scheme shares the cell's :class:`DistanceOracle` with the routing
+simulator.
 """
 
 from __future__ import annotations
 
+import sys
+from typing import Dict, List, Optional, Tuple
+
 from repro.analysis.reporting import ExperimentResult
 from repro.core.uniform import UniformScheme
-from repro.experiments.common import measure_scaling, standard_graph_families
+from repro.experiments.common import (
+    CellPayload,
+    OracleFactory,
+    collect_series,
+    run_experiment,
+    scaling_cell,
+    standard_graph_families,
+)
 from repro.experiments.config import ExperimentConfig
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "run", "main"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
 EXPERIMENT_ID = "EXP-1"
 TITLE = "Uniform scheme: O(sqrt(n)) universal upper bound"
@@ -25,27 +50,47 @@ PAPER_CLAIM = (
 )
 
 
-def run(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run the sweep and return the structured result."""
-    config = config or ExperimentConfig.full()
+def cell_keys(config: ExperimentConfig) -> List[Tuple[str, int]]:
+    """One cell per (family, n)."""
+    return [
+        (family, n)
+        for family in standard_graph_families()
+        for n in config.effective_sizes()
+    ]
+
+
+def run_cell(
+    config: ExperimentConfig,
+    family: str,
+    n: int,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> CellPayload:
+    """Route the uniform scheme on one (family, n) graph instance."""
+    factory = standard_graph_families()[family]
+    return scaling_cell(
+        EXPERIMENT_ID,
+        family,
+        n,
+        factory,
+        {f"uniform/{family}": lambda graph, seed, oracle: UniformScheme(graph, seed=seed)},
+        config,
+        oracle_factory=oracle_factory,
+    )
+
+
+def assemble(
+    config: ExperimentConfig, cells: Dict[Tuple[str, int], CellPayload]
+) -> ExperimentResult:
+    """Fold cell payloads into the structured result (pure, artifact-friendly)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         paper_claim=PAPER_CLAIM,
         parameters={"config": config},
     )
-    families = standard_graph_families()
-    cache: dict = {}
-    for family_name, factory in families.items():
-        series = measure_scaling(
-            family_name,
-            factory,
-            lambda graph, seed: UniformScheme(graph, seed=seed),
-            config,
-            series_name=f"uniform/{family_name}",
-            graph_cache=cache,
-        )
-        result.add_series(series)
+    for family in standard_graph_families():
+        result.add_series(collect_series(cells, family, f"uniform/{family}", config))
     exponents = {
         s.name: s.power_law().exponent for s in result.series if s.power_law() is not None
     }
@@ -55,6 +100,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         "exponents <= 0.5 (up to sampling noise), tight on ring/path."
     )
     return result
+
+
+def run(
+    config: ExperimentConfig | None = None, *, oracle_factory: Optional[OracleFactory] = None
+) -> ExperimentResult:
+    """Run the sweep and return the structured result."""
+    return run_experiment(sys.modules[__name__], config, oracle_factory=oracle_factory)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

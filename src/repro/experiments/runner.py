@@ -1,10 +1,41 @@
-"""Run every experiment and collect the reports (used to regenerate EXPERIMENTS.md)."""
+"""The oracle-backed experiment pipeline: cell sweep, artifacts, reports.
+
+The paper's headline claims are scaling curves, so a full reproduction is a
+*sweep* over ``(experiment, family, n)`` cells.  This module turns that sweep
+into an explicit pipeline:
+
+1. every experiment module decomposes into independent cells (see the cell
+   protocol in :mod:`repro.experiments.common`); within a cell all schemes
+   share one :class:`~repro.graphs.oracle.DistanceOracle`, so BFS arrays are
+   computed once per graph instance instead of once per scheme,
+2. the :class:`SweepExecutor` runs the cells — serially or fanned out over a
+   ``ProcessPoolExecutor`` (``jobs``) with deterministic per-cell seeding, so
+   parallel runs are bitwise-identical to serial ones,
+3. each computed cell is persisted as a JSON
+   :class:`~repro.analysis.reporting.CellArtifact` (``artifacts_dir``) and a
+   resumed sweep (``resume=True``) skips every cell whose artifact already
+   exists under a matching configuration,
+4. :func:`run_all` / :func:`results_from_artifacts` assemble the cell
+   payloads into :class:`ExperimentResult` objects and
+   :func:`render_markdown` renders the EXPERIMENTS.md report — assembly is a
+   pure function of the payloads, so reports regenerate from artifacts alone.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import concurrent.futures
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.reporting import ExperimentResult
+from repro.analysis.reporting import (
+    CellArtifact,
+    ExperimentResult,
+    artifact_path,
+    iter_cell_artifacts,
+    load_cell_artifact,
+    write_cell_artifact,
+)
 from repro.experiments import (
     exp_ball_ablation,
     exp_ball_scheme,
@@ -15,9 +46,19 @@ from repro.experiments import (
     exp_trees_atfree,
     exp_uniform,
 )
+from repro.experiments.common import OracleFactory
 from repro.experiments.config import ExperimentConfig
 
-__all__ = ["EXPERIMENT_MODULES", "run_all", "render_markdown"]
+__all__ = [
+    "EXPERIMENT_MODULES",
+    "SweepCell",
+    "SweepExecutor",
+    "available_experiment_ids",
+    "select_modules",
+    "run_all",
+    "results_from_artifacts",
+    "render_markdown",
+]
 
 #: Experiment modules in DESIGN.md order.
 EXPERIMENT_MODULES = (
@@ -32,11 +73,204 @@ EXPERIMENT_MODULES = (
 )
 
 
+def available_experiment_ids() -> List[str]:
+    """The experiment ids accepted by ``only=`` filters, in report order."""
+    return [module.EXPERIMENT_ID for module in EXPERIMENT_MODULES]
+
+
+def select_modules(only: Optional[Sequence[str]]) -> List:
+    """Resolve an ``only=`` filter to modules (report order preserved).
+
+    Raises ``ValueError`` listing the available ids when any requested id is
+    unknown — a typo must not silently produce an empty sweep.  ``None`` *and*
+    an empty filter select everything (an argparse ``nargs="*"`` flag given
+    with no values must not mean "run nothing").
+    """
+    if only is None or not list(only):
+        return list(EXPERIMENT_MODULES)
+    by_id = {module.EXPERIMENT_ID.upper(): module for module in EXPERIMENT_MODULES}
+    unknown = [x for x in only if x.upper() not in by_id]
+    if unknown:
+        raise ValueError(
+            f"unknown experiment id(s) {', '.join(repr(x) for x in unknown)}; "
+            f"available: {', '.join(available_experiment_ids())}"
+        )
+    wanted = {x.upper() for x in only}
+    return [m for m in EXPERIMENT_MODULES if m.EXPERIMENT_ID.upper() in wanted]
+
+
+def _module_by_id(experiment_id: str):
+    for module in EXPERIMENT_MODULES:
+        if module.EXPERIMENT_ID == experiment_id:
+            return module
+    raise KeyError(f"no experiment module with id {experiment_id!r}")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Key of one unit of sweep work: ``(experiment, family, n)``."""
+
+    experiment_id: str
+    family: str
+    n: int
+
+
+def _run_cell_worker(
+    experiment_id: str, family: str, n: int, config: ExperimentConfig
+) -> Tuple[str, str, int, dict]:
+    """Process-pool entry point: compute one cell (module-level: picklable)."""
+    module = _module_by_id(experiment_id)
+    payload = module.run_cell(config, family, n)
+    return experiment_id, family, n, payload
+
+
+class SweepExecutor:
+    """Runs the sweep's cells, with optional process fan-out and artifacts.
+
+    Parameters
+    ----------
+    config:
+        Shared :class:`ExperimentConfig`; its fingerprint is stored in every
+        artifact and checked on resume.
+    jobs:
+        Worker processes.  ``1`` (default) runs in-process; cells are
+        independent and deterministically seeded, so any ``jobs`` value
+        produces identical payloads.
+    artifacts_dir:
+        When set, every computed cell is persisted there as a
+        :class:`CellArtifact` JSON file.
+    resume:
+        Skip cells whose artifact already exists in ``artifacts_dir`` with a
+        matching config fingerprint (requires ``artifacts_dir``).
+    oracle_factory:
+        Test hook building the per-cell oracle (e.g. a counting oracle).
+        Factories are generally not picklable, so setting one forces
+        in-process execution regardless of ``jobs``.
+
+    After :meth:`run`, :attr:`executed` and :attr:`skipped` list the cells
+    that were computed fresh vs served from artifacts.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        *,
+        jobs: int = 1,
+        artifacts_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        oracle_factory: Optional[OracleFactory] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if resume and artifacts_dir is None:
+            raise ValueError("resume=True requires an artifacts_dir to resume from")
+        self._config = config
+        self._fingerprint = config.fingerprint()
+        self._jobs = jobs
+        self._artifacts_dir = Path(artifacts_dir) if artifacts_dir is not None else None
+        self._resume = resume
+        self._oracle_factory = oracle_factory
+        self.executed: List[SweepCell] = []
+        self.skipped: List[SweepCell] = []
+
+    # ------------------------------------------------------------------ #
+    # Artifact handling
+    # ------------------------------------------------------------------ #
+
+    def _load_resumable(self, cell: SweepCell) -> Optional[dict]:
+        """Payload of a prior run's artifact for *cell*, or ``None``.
+
+        An artifact only counts when it parses, carries the current schema
+        version and was computed under the *same* config fingerprint —
+        anything else is recomputed rather than silently mixed in.
+        """
+        assert self._artifacts_dir is not None
+        path = artifact_path(self._artifacts_dir, cell.experiment_id, cell.family, cell.n)
+        if not path.is_file():
+            return None
+        try:
+            artifact = load_cell_artifact(path)
+        except (ValueError, KeyError):
+            return None
+        if (
+            artifact.experiment_id != cell.experiment_id
+            or artifact.family != cell.family
+            or artifact.n != cell.n
+            or artifact.config != self._fingerprint
+        ):
+            return None
+        return artifact.payload
+
+    def _persist(self, cell: SweepCell, payload: dict) -> None:
+        if self._artifacts_dir is None:
+            return
+        artifact = CellArtifact(
+            experiment_id=cell.experiment_id,
+            family=cell.family,
+            n=cell.n,
+            config=self._fingerprint,
+            payload=payload,
+        )
+        write_cell_artifact(self._artifacts_dir, artifact)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, modules: Sequence) -> Dict[str, Dict[Tuple[str, int], dict]]:
+        """Compute (or load) every cell of *modules*; returns payloads per id."""
+        payloads: Dict[str, Dict[Tuple[str, int], dict]] = {
+            module.EXPERIMENT_ID: {} for module in modules
+        }
+        pending: List[SweepCell] = []
+        for module in modules:
+            for family, n in module.cell_keys(self._config):
+                cell = SweepCell(module.EXPERIMENT_ID, family, int(n))
+                if self._resume:
+                    payload = self._load_resumable(cell)
+                    if payload is not None:
+                        payloads[cell.experiment_id][(cell.family, cell.n)] = payload
+                        self.skipped.append(cell)
+                        continue
+                pending.append(cell)
+
+        if self._jobs == 1 or self._oracle_factory is not None or len(pending) <= 1:
+            for cell in pending:
+                module = _module_by_id(cell.experiment_id)
+                payload = module.run_cell(
+                    self._config, cell.family, cell.n, oracle_factory=self._oracle_factory
+                )
+                self._finish(payloads, cell, payload)
+        else:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=self._jobs) as pool:
+                futures = {
+                    pool.submit(
+                        _run_cell_worker, cell.experiment_id, cell.family, cell.n, self._config
+                    ): cell
+                    for cell in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    cell = futures[future]
+                    _, _, _, payload = future.result()
+                    self._finish(payloads, cell, payload)
+        return payloads
+
+    def _finish(self, payloads, cell: SweepCell, payload: dict) -> None:
+        payloads[cell.experiment_id][(cell.family, cell.n)] = payload
+        self._persist(cell, payload)
+        self.executed.append(cell)
+
+
 def run_all(
     config: Optional[ExperimentConfig] = None,
     *,
     only: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    artifacts_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    oracle_factory: Optional[OracleFactory] = None,
+    stats: Optional[dict] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run all (or the selected) experiments with one shared configuration.
 
@@ -46,21 +280,81 @@ def run_all(
         Shared configuration; defaults to :meth:`ExperimentConfig.full`.
     only:
         Optional iterable of experiment ids (``"EXP-1"`` …) to restrict to.
+        Unknown ids raise ``ValueError`` listing the available ids.
     verbose:
         Print each report as it completes.
+    jobs:
+        Worker processes for the cell sweep (see :class:`SweepExecutor`).
+    artifacts_dir:
+        Persist every computed cell as a JSON artifact in this directory.
+    resume:
+        Skip cells whose artifact already exists (requires ``artifacts_dir``);
+        the report is assembled from the mix of loaded and fresh cells.
+    oracle_factory:
+        Test hook for the per-cell distance oracle (forces in-process runs).
+    stats:
+        Optional dict populated with ``"executed"`` / ``"skipped"`` cell lists.
     """
     config = config or ExperimentConfig.full()
-    wanted = {x.upper() for x in only} if only else None
+    modules = select_modules(only)
+    executor = SweepExecutor(
+        config,
+        jobs=jobs,
+        artifacts_dir=artifacts_dir,
+        resume=resume,
+        oracle_factory=oracle_factory,
+    )
+    payloads = executor.run(modules)
     results: Dict[str, ExperimentResult] = {}
-    for module in EXPERIMENT_MODULES:
-        exp_id = module.EXPERIMENT_ID
-        if wanted is not None and exp_id.upper() not in wanted:
-            continue
-        result = module.run(config)
-        results[exp_id] = result
+    for module in modules:
+        result = module.assemble(config, payloads[module.EXPERIMENT_ID])
+        results[module.EXPERIMENT_ID] = result
         if verbose:
             print(result.to_text())
             print()
+    if stats is not None:
+        stats["executed"] = list(executor.executed)
+        stats["skipped"] = list(executor.skipped)
+    return results
+
+
+def results_from_artifacts(
+    artifacts_dir: Union[str, Path],
+    *,
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Regenerate experiment results from persisted artifacts alone.
+
+    No routing runs: the artifacts' payloads are assembled directly.  The
+    configuration is reconstructed from the artifacts' stored fingerprint
+    (artifacts from mixed configurations raise ``ValueError``).
+    """
+    modules = select_modules(only)
+    wanted = {module.EXPERIMENT_ID for module in modules}
+    artifacts = [a for a in iter_cell_artifacts(artifacts_dir) if a.experiment_id in wanted]
+    if not artifacts:
+        raise ValueError(f"no experiment artifacts found under {artifacts_dir}")
+    def _freeze(value):
+        return tuple(value) if isinstance(value, list) else value
+
+    fingerprints = {
+        tuple((k, _freeze(v)) for k, v in sorted(a.config.items())) for a in artifacts
+    }
+    if len(fingerprints) > 1:
+        raise ValueError(
+            f"artifacts under {artifacts_dir} come from {len(fingerprints)} different "
+            "configurations; assemble them separately"
+        )
+    config = ExperimentConfig(**artifacts[0].config)
+    cells: Dict[str, Dict[Tuple[str, int], dict]] = {}
+    for artifact in artifacts:
+        cells.setdefault(artifact.experiment_id, {})[(artifact.family, artifact.n)] = (
+            artifact.payload
+        )
+    results: Dict[str, ExperimentResult] = {}
+    for module in modules:
+        if module.EXPERIMENT_ID in cells:
+            results[module.EXPERIMENT_ID] = module.assemble(config, cells[module.EXPERIMENT_ID])
     return results
 
 
@@ -81,9 +375,21 @@ def main() -> None:  # pragma: no cover - CLI convenience
     parser.add_argument("--quick", action="store_true", help="use the small benchmark configuration")
     parser.add_argument("--only", nargs="*", help="experiment ids to run (e.g. EXP-6)")
     parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes for the cell sweep")
+    parser.add_argument("--out", help="directory for per-cell JSON artifacts")
+    parser.add_argument(
+        "--resume", action="store_true", help="skip cells whose artifact already exists in --out"
+    )
     args = parser.parse_args()
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
-    results = run_all(config, only=args.only, verbose=not args.markdown)
+    results = run_all(
+        config,
+        only=args.only,
+        verbose=not args.markdown,
+        jobs=args.jobs,
+        artifacts_dir=args.out,
+        resume=args.resume,
+    )
     if args.markdown:
         print(render_markdown(results))
 

@@ -13,12 +13,13 @@ including *hard* pairs.  Three samplers are provided:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.graphs.distances import bfs_distances, double_sweep_diameter_lower_bound
 from repro.graphs.graph import Graph
+from repro.graphs.oracle import DistanceOracle
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -41,7 +42,13 @@ def uniform_pairs(graph: Graph, count: int, seed: RngLike = None) -> List[Tuple[
     return pairs
 
 
-def extremal_pairs(graph: Graph, count: int, seed: RngLike = None) -> List[Tuple[int, int]]:
+def extremal_pairs(
+    graph: Graph,
+    count: int,
+    seed: RngLike = None,
+    *,
+    oracle: Optional[DistanceOracle] = None,
+) -> List[Tuple[int, int]]:
     """*count* pairs biased towards the diameter of the graph.
 
     The first pair is the double-sweep pseudo-peripheral pair (exact diameter
@@ -53,6 +60,11 @@ def extremal_pairs(graph: Graph, count: int, seed: RngLike = None) -> List[Tuple
     component) is rejected, in *both* the forward and the reverse direction —
     no ``(s, s)`` self-pair is ever emitted.  A graph with no edges admits no
     valid pair and raises ``ValueError``.
+
+    *oracle* routes the per-source BFS sweeps through a shared
+    :class:`~repro.graphs.oracle.DistanceOracle`: the sampled sources become
+    routing *targets* of the pairs it emits (each ``(s, t)`` is mirrored as
+    ``(t, s)``), so the same arrays are cache hits during simulation.
     """
     count = check_positive_int(count, "count")
     n = graph.num_nodes
@@ -67,7 +79,7 @@ def extremal_pairs(graph: Graph, count: int, seed: RngLike = None) -> List[Tuple
         pairs.append((a, b))
     while len(pairs) < count:
         s = int(rng.integers(0, n))
-        dist = bfs_distances(graph, s)
+        dist = oracle.distances_from(s) if oracle is not None else bfs_distances(graph, s)
         t = int(np.argmax(dist))
         if t == s:
             # s is isolated (or a singleton component): no valid partner.

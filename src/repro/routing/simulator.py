@@ -259,14 +259,17 @@ def estimate_greedy_diameter(
     ``"uniform"``.  Because only a sample of pairs is routed the result is a
     lower estimate of the true maximum, which is the standard Monte-Carlo
     treatment for greedy diameters; the scaling exponents reported by the
-    experiments are unaffected.  *oracle* is forwarded to
-    :func:`estimate_expected_steps`.
+    experiments are unaffected.  *oracle* is forwarded both to
+    :func:`estimate_expected_steps` and to the extremal pair sampler, whose
+    per-source BFS sweeps then double as the routing phase's target arrays.
     """
     rng = ensure_rng(seed)
     pair_seed = int(rng.integers(0, 2**31 - 1))
     routing_seed = int(rng.integers(0, 2**31 - 1))
     if pair_strategy == "extremal":
-        pairs = extremal_pairs(graph, num_pairs, seed=pair_seed)
+        if oracle is not None and oracle.graph is not graph and not oracle.graph.same_structure(graph):
+            raise ValueError("oracle was built for a different graph")
+        pairs = extremal_pairs(graph, num_pairs, seed=pair_seed, oracle=oracle)
     elif pair_strategy == "uniform":
         pairs = uniform_pairs(graph, num_pairs, seed=pair_seed)
     else:

@@ -1,10 +1,19 @@
-"""Unit tests for experiment result reporting."""
+"""Unit tests for experiment result reporting and persisted cell artifacts."""
 
 import json
 
 import pytest
 
-from repro.analysis.reporting import ExperimentResult, SeriesResult
+from repro.analysis.reporting import (
+    ARTIFACT_SCHEMA_VERSION,
+    CellArtifact,
+    ExperimentResult,
+    SeriesResult,
+    artifact_path,
+    iter_cell_artifacts,
+    load_cell_artifact,
+    write_cell_artifact,
+)
 
 
 def _sample_result() -> ExperimentResult:
@@ -73,3 +82,48 @@ class TestExperimentResult:
         result.conclusion = "matches the paper"
         assert "matches the paper" in result.to_text()
         assert "matches the paper" in result.to_markdown()
+
+
+def _sample_artifact() -> CellArtifact:
+    return CellArtifact(
+        experiment_id="EXP-7",
+        family="size sweep / critical r=2",
+        n=256,
+        config={"sizes": [128, 256], "seed": 7},
+        payload={"series": {"size sweep / critical r=2": {"n": 256, "value": 9.25}}},
+    )
+
+
+class TestCellArtifact:
+    def test_json_roundtrip(self):
+        artifact = _sample_artifact()
+        assert CellArtifact.from_json(artifact.to_json()) == artifact
+
+    def test_filename_is_filesystem_safe_and_stable(self):
+        name = _sample_artifact().filename()
+        assert "/" not in name and " " not in name and "=" not in name
+        assert name == _sample_artifact().filename()
+        assert name == artifact_path(".", "EXP-7", "size sweep / critical r=2", 256).name
+
+    def test_write_and_load(self, tmp_path):
+        artifact = _sample_artifact()
+        path = write_cell_artifact(tmp_path / "nested", artifact)
+        assert path.parent == tmp_path / "nested"
+        assert load_cell_artifact(path) == artifact
+
+    def test_unknown_schema_version_rejected(self):
+        data = json.loads(_sample_artifact().to_json())
+        data["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            CellArtifact.from_json(json.dumps(data))
+
+    def test_iter_skips_foreign_json(self, tmp_path):
+        write_cell_artifact(tmp_path, _sample_artifact())
+        (tmp_path / "notes.json").write_text("{\"unrelated\": true}", encoding="utf-8")
+        (tmp_path / "broken.json").write_text("{not json", encoding="utf-8")
+        artifacts = iter_cell_artifacts(tmp_path)
+        assert len(artifacts) == 1
+        assert artifacts[0].experiment_id == "EXP-7"
+
+    def test_iter_missing_directory(self, tmp_path):
+        assert iter_cell_artifacts(tmp_path / "absent") == []

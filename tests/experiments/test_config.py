@@ -26,3 +26,13 @@ class TestExperimentConfig:
         quick, full = ExperimentConfig.quick(), ExperimentConfig.full()
         assert max(quick.sizes) < max(full.sizes)
         assert quick.trials <= full.trials
+
+    def test_fingerprint_roundtrips(self):
+        cfg = ExperimentConfig(sizes=[64, 128], num_pairs=3, trials=5, seed=9)
+        fp = cfg.fingerprint()
+        assert ExperimentConfig(**fp) == cfg
+        assert fp == cfg.fingerprint()
+
+    def test_fingerprint_distinguishes_configs(self):
+        cfg = ExperimentConfig()
+        assert cfg.fingerprint() != cfg.scaled(trials=cfg.trials + 1).fingerprint()

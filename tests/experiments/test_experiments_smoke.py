@@ -9,6 +9,7 @@ full size by the benchmark harness and recorded in EXPERIMENTS.md.
 import pytest
 
 from repro.experiments import (
+    exp_ball_ablation,
     exp_ball_scheme,
     exp_kleinberg,
     exp_label_size,
@@ -30,6 +31,7 @@ ALL_MODULES = [
     exp_label_size,
     exp_ball_scheme,
     exp_kleinberg,
+    exp_ball_ablation,
 ]
 
 

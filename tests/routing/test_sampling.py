@@ -69,6 +69,34 @@ class TestExtremalPairsDisconnected:
             extremal_pairs(Graph.empty(5), 3, seed=0)
 
 
+class TestExtremalPairsOracle:
+    def test_oracle_backed_sampling_is_identical(self):
+        from repro.graphs.generators import cycle_graph
+        from repro.graphs.oracle import DistanceOracle
+
+        graph = cycle_graph(32)
+        for seed in range(5):
+            oracle = DistanceOracle(graph)
+            assert extremal_pairs(graph, 6, seed=seed, oracle=oracle) == extremal_pairs(
+                graph, 6, seed=seed
+            )
+
+    def test_oracle_caches_sampled_sources(self):
+        from repro.graphs.generators import cycle_graph
+        from repro.graphs.oracle import DistanceOracle
+
+        graph = cycle_graph(32)
+        oracle = DistanceOracle(graph)
+        pairs = extremal_pairs(graph, 6, seed=3, oracle=oracle)
+        before = oracle.misses
+        # Each drawn source's BFS array is now cached; it is the *target* of
+        # the mirrored pair, so routing to it must not trigger a new BFS.
+        for source, _ in pairs[1::2]:
+            oracle.distances_from(source)
+        assert oracle.misses == before
+        assert oracle.hits > 0
+
+
 class TestAllPairs:
     def test_all_ordered_pairs(self, path8):
         pairs = all_pairs(path8)

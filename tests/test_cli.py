@@ -54,5 +54,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "EXP-1" in out
 
-    def test_experiment_command_no_match(self, capsys):
+    def test_experiment_command_unknown_id_lists_available(self, capsys):
         assert main(["experiment", "--only", "EXP-99", "--quick"]) == 1
+        err = capsys.readouterr().err
+        assert "EXP-99" in err
+        assert "EXP-1" in err  # the error names the available experiment ids
+
+    def test_experiment_command_resume_requires_out(self, capsys):
+        assert main(["experiment", "--only", "EXP-1", "--quick", "--resume"]) == 1
+        assert "--out" in capsys.readouterr().err
+
+    def test_experiment_command_artifacts_and_resume(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        args = ["experiment", "--only", "EXP-1", "--quick", "--markdown", "--out", out_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert list((tmp_path / "artifacts").glob("*.json"))
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert second == first
