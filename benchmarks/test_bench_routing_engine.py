@@ -1,0 +1,177 @@
+"""Benchmark: lane-vectorized routing engine vs. the scalar reference loop.
+
+Measures the Monte-Carlo routing phase (64 pairs x 16 trials, uniform scheme)
+on square grids at n ~ {2k, 10k, 50k} under both engines.  Per engine and
+size, two rounds run against a BFS-prewarmed oracle:
+
+* **cold** — the first estimate, which for the lane engine includes building
+  the per-target ``next_local`` hop tables and stacked routing blocks
+  (``DistanceOracle.routing_blocks``);
+* **warm** — the steady-state estimate with those oracle caches populated.
+
+Warm is the figure the sweep pipeline actually pays per scheme: every
+experiment cell routes several schemes (and repeated trial batches) over the
+*same* seeded pairs and shared oracle, so the table construction is a
+once-per-cell cost while each scheme's routing phase runs at the warm rate.
+The speedup gates therefore apply to the warm numbers; cold numbers are
+recorded alongside for transparency.
+
+Every run appends a record to ``BENCH_routing.json`` at the repository root,
+so the routing-perf trajectory accumulates across runs/commits; CI uploads
+the file as a workflow artifact.
+
+Modes
+-----
+* default (smoke, what CI and the tier-1 suite run): n ~ 2k only, with a
+  modest 2x warm-speedup gate and the lane-vs-scalar divergence gate (shared
+  contact table => identical step counts, lane by lane).
+* ``BENCH_ROUTING_FULL=1``: all three sizes, and the issue's acceptance gate
+  of >= 10x at n ~ 50k.
+
+Run the acceptance-scale comparison with::
+
+    BENCH_ROUTING_FULL=1 PYTHONPATH=src python -m pytest \
+        benchmarks/test_bench_routing_engine.py -q -s
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.base import NO_CONTACT
+from repro.core.uniform import UniformScheme
+from repro.graphs import generators
+from repro.graphs.oracle import DistanceOracle
+from repro.routing.engine import materialize_contact_table, route_lanes
+from repro.routing.greedy import greedy_route
+from repro.routing.simulator import estimate_expected_steps
+
+_NUM_PAIRS = 64
+_TRIALS = 16
+_SEED = 20070610
+#: Grid sides for the sweep: 45^2 ~ 2k, 100^2 = 10k, 224^2 ~ 50k nodes.
+_SMOKE_SIDES = [45]
+_FULL_SIDES = [45, 100, 224]
+_RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_routing.json"
+
+
+def _full_mode() -> bool:
+    return os.environ.get("BENCH_ROUTING_FULL", "") == "1"
+
+
+def _pairs(n: int):
+    step = max(1, n // (_NUM_PAIRS + 1))
+    pairs = []
+    for i in range(_NUM_PAIRS):
+        s = (i * step) % n
+        t = (n - 1 - i * step) % n
+        if s != t:
+            pairs.append((s, t))
+    return pairs
+
+
+def _measure_engine(graph, pairs, engine: str):
+    """Return ``(cold_seconds, warm_seconds)`` for one engine at one size."""
+    scheme = UniformScheme(graph, seed=_SEED)
+    oracle = DistanceOracle(graph)
+    oracle.prefetch(t for (_, t) in pairs)  # BFS warm-up is not routing time
+    timings = []
+    for round_seed in (_SEED, _SEED + 1):
+        t0 = time.perf_counter()
+        estimate_expected_steps(
+            graph, scheme, pairs, trials=_TRIALS, seed=round_seed,
+            oracle=oracle, engine=engine,
+        )
+        timings.append(time.perf_counter() - t0)
+    return timings[0], timings[1]
+
+
+def _append_record(results) -> None:
+    data = {"schema_version": 1, "runs": []}
+    if _RESULTS_PATH.exists():
+        try:
+            loaded = json.loads(_RESULTS_PATH.read_text())
+            if isinstance(loaded, dict) and loaded.get("schema_version") == 1:
+                data = loaded
+        except json.JSONDecodeError:
+            pass  # corrupt file: start a fresh trajectory rather than crash
+    data["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "mode": "full" if _full_mode() else "smoke",
+            "config": {"num_pairs": _NUM_PAIRS, "trials": _TRIALS, "scheme": "uniform"},
+            "results": results,
+        }
+    )
+    _RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_lane_matches_scalar_on_smoke_config():
+    """Divergence gate: identical trajectories under a shared contact table."""
+    graph = generators.grid_graph([24, 24])
+    pairs = _pairs(graph.num_nodes)[:8]
+    trials = 4
+    scheme = UniformScheme(graph, seed=_SEED)
+    oracle = DistanceOracle(graph)
+    table = materialize_contact_table(scheme, len(pairs) * trials, rng=_SEED)
+    batch = route_lanes(
+        graph, scheme, pairs, trials=trials, seed=1, oracle=oracle, contact_table=table
+    )
+    for lane in range(len(pairs) * trials):
+        s, t = pairs[lane // trials]
+        result = greedy_route(
+            graph,
+            oracle.distances_to(t),
+            s,
+            t,
+            lambda u, lane=lane: (
+                None if table[lane, u] == NO_CONTACT else int(table[lane, u])
+            ),
+        )
+        assert result.success and bool(batch.success[lane])
+        assert int(batch.steps[lane]) == result.steps
+        assert int(batch.long_links[lane]) == result.long_links_used
+
+
+def test_lane_engine_speedup():
+    """Measure lane vs scalar per size, accumulate BENCH_routing.json, gate."""
+    sides = _FULL_SIDES if _full_mode() else _SMOKE_SIDES
+    results = []
+    for side in sides:
+        graph = generators.grid_graph([side, side])
+        n = graph.num_nodes
+        pairs = _pairs(n)
+        scalar_cold, scalar_warm = _measure_engine(graph, pairs, "scalar")
+        lane_cold, lane_warm = _measure_engine(graph, pairs, "lane")
+        speedup = scalar_warm / lane_warm if lane_warm > 0 else float("inf")
+        results.append(
+            {
+                "n": n,
+                "grid": [side, side],
+                "scalar_seconds": round(scalar_warm, 4),
+                "lane_seconds": round(lane_warm, 4),
+                "speedup": round(speedup, 2),
+                "scalar_cold_seconds": round(scalar_cold, 4),
+                "lane_cold_seconds": round(lane_cold, 4),
+                "cold_speedup": round(
+                    scalar_cold / lane_cold if lane_cold > 0 else float("inf"), 2
+                ),
+            }
+        )
+        print(
+            f"\nrouting engines at n={n}: scalar {scalar_warm:.3f}s, "
+            f"lane {lane_warm:.3f}s warm ({lane_cold:.3f}s cold), "
+            f"speedup {speedup:.1f}x"
+        )
+    _append_record(results)
+    # Smoke gate: decisively faster even at 2k.  Acceptance gate: >= 10x on
+    # the 50k grid (full mode, the issue's bar).
+    assert results[0]["speedup"] >= 2.0, results
+    if _full_mode():
+        biggest = results[-1]
+        assert biggest["n"] >= 50_000
+        assert biggest["speedup"] >= 10.0, results

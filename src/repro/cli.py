@@ -26,7 +26,7 @@ from repro.experiments.runner import EXPERIMENT_MODULES, render_markdown, run_al
 from repro.graphs import generators
 from repro.graphs.distances import diameter
 from repro.graphs.graph import Graph
-from repro.routing.simulator import estimate_greedy_diameter
+from repro.routing.simulator import ROUTING_ENGINES, estimate_greedy_diameter
 
 __all__ = ["main", "build_parser", "GRAPH_FAMILIES"]
 
@@ -104,6 +104,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             num_pairs=args.pairs,
             trials=args.trials,
             seed=args.seed,
+            engine=args.engine,
         )
         rows.append(
             [
@@ -124,6 +125,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
+    config = config.scaled(engine=args.engine)
     only = args.only if args.only else None
     if args.resume and not args.out:
         print("--resume requires --out (the artifact directory to resume from)", file=sys.stderr)
@@ -193,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=["uniform", "ball"],
         help=f"schemes to compare (available: {', '.join(available_schemes())})",
     )
+    p_route.add_argument(
+        "--engine",
+        choices=ROUTING_ENGINES,
+        default="lane",
+        help="Monte-Carlo routing engine (lane = vectorized, scalar = reference loop)",
+    )
     p_route.set_defaults(handler=_cmd_route)
 
     p_exp = sub.add_parser("experiment", help="run the paper's experiments")
@@ -209,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip cells whose artifact already exists in --out (same config only)",
+    )
+    p_exp.add_argument(
+        "--engine",
+        choices=ROUTING_ENGINES,
+        default="lane",
+        help="Monte-Carlo routing engine (part of the artifact fingerprint)",
     )
     p_exp.set_defaults(handler=_cmd_experiment)
 

@@ -33,11 +33,12 @@ Implementation notes
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.base import AugmentationScheme
+from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.distances import UNREACHABLE
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import DistanceOracle
@@ -100,6 +101,12 @@ class BallScheme(AugmentationScheme):
         if oracle is not None and oracle.graph is not graph and not oracle.graph.same_structure(graph):
             raise ValueError("oracle was built for a different graph")
         self._oracle = oracle if oracle is not None else DistanceOracle(graph)
+        #: node -> (distances sorted ascending, node ids in the same order),
+        #: restricted to the node's component; backs the batched sampler's
+        #: "|B(u, r)| = searchsorted" trick.  LRU-capped to the backing
+        #: oracle's max_entries so an oracle configured to bound memory is
+        #: not defeated by this secondary per-node cache.
+        self._profiles: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -134,6 +141,7 @@ class BallScheme(AugmentationScheme):
         simulator's per-target arrays), not just this scheme's entries.
         """
         self._oracle.clear()
+        self._profiles.clear()
 
     def cache_size(self) -> int:
         """Number of BFS arrays in the backing oracle (for memory accounting).
@@ -166,6 +174,65 @@ class BallScheme(AugmentationScheme):
         if members.size == 0:
             return None
         return int(members[generator.integers(0, members.size)])
+
+    def _ball_profile(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted distance profile of *node*: ``(sorted distances, node ids)``.
+
+        ``searchsorted(sorted_d, r, "right")`` is ``|B(node, r)|`` and the
+        first that many entries of ``ids`` are exactly the ball's members, so
+        a uniform member is one index draw away — no per-sample ``nonzero``
+        scan over the whole distance array.
+        """
+        profile = self._profiles.get(node)
+        if profile is None:
+            dist = self._distances_from(node)
+            reachable = np.nonzero(dist != UNREACHABLE)[0]
+            order = np.argsort(dist[reachable], kind="stable")
+            ids = reachable[order]
+            profile = (dist[ids], ids)
+            self._profiles[node] = profile
+            cap = self._oracle.max_entries
+            if cap is not None:
+                while len(self._profiles) > cap:
+                    self._profiles.popitem(last=False)
+        else:
+            self._profiles.move_to_end(node)
+        return profile
+
+    def sample_contacts(
+        self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Batched ball sampling: one level draw + one ball pick per entry.
+
+        The distinct nodes of the batch are prefetched through the oracle in a
+        single batched frontier sweep (instead of one BFS per first visit),
+        then each entry draws its level and picks uniformly inside
+        ``B(node, 2^k)`` via the node's sorted distance profile.
+        """
+        if not self._batch_matches_scalar(BallScheme):
+            return super().sample_contacts(nodes, rng)
+        generator = rng if rng is not None else self._rng
+        nodes = self._coerce_batch(nodes)
+        if nodes.size == 0:
+            return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        flat = nodes.reshape(-1)
+        out = np.full(flat.shape, NO_CONTACT, dtype=np.int64)
+        levels = (
+            np.searchsorted(self._level_cumulative, generator.random(flat.size), side="right")
+            + 1
+        )
+        # 2^k, clamped: any radius >= n already covers the whole component.
+        radii = np.int64(1) << np.minimum(levels, 62).astype(np.int64)
+        uniq, inverse = np.unique(flat, return_inverse=True)
+        self._oracle.prefetch(uniq.tolist())
+        for j, node in enumerate(uniq.tolist()):
+            lanes = np.nonzero(inverse == j)[0]
+            sorted_d, ids = self._ball_profile(int(node))
+            counts = np.searchsorted(sorted_d, radii[lanes], side="right")
+            picks = (generator.random(lanes.size) * counts).astype(np.int64)
+            nonempty = counts > 0
+            out[lanes[nonempty]] = ids[picks[nonempty]]
+        return out.reshape(nodes.shape)
 
     def contact_distribution(self, node: int) -> np.ndarray:
         """Exact ``φ_u`` from the closed form ``(1/⌈log n⌉)·Σ_{k ≥ r(v)} 1/|B_k(u)|``."""

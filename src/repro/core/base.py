@@ -12,6 +12,19 @@ target.  Two usage modes are supported:
   Monte-Carlo sweeps affordable.
 * **eager sampling** — :class:`AugmentedGraph` materialises one contact per
   node, which is convenient for inspection, examples and tests.
+
+Since the lane-engine PR the lazy mode has a *batched* spelling:
+:meth:`AugmentationScheme.sample_contacts` draws the contacts of a whole
+array of nodes in one call (duplicates allowed — each occurrence is an
+independent draw, which is what the step-synchronous routing engine in
+:mod:`repro.routing.engine` needs when many Monte-Carlo lanes sit on the same
+node).  The base class provides a scalar fallback so every scheme supports the
+API; the built-in schemes override it with native vectorized samplers
+(inverse-CDF / ``searchsorted`` over their cached distributions).  Overrides
+must preserve the contract that each entry is an independent draw from
+``φ_{nodes[i]}`` — they are free to consume the generator differently from the
+scalar path (batched and scalar streams are *statistically* equivalent, not
+bitwise).
 """
 
 from __future__ import annotations
@@ -76,6 +89,54 @@ class AugmentationScheme(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not expose an explicit contact distribution"
         )
+
+    def sample_contacts(
+        self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw one independent contact per entry of *nodes* (batched sampling).
+
+        Returns an ``int64`` array aligned with *nodes* where ``NO_CONTACT``
+        marks entries that drew no long-range link.  Duplicate nodes are
+        allowed and each occurrence is an independent draw — the routing
+        engine's lanes frequently share a current node.
+
+        The base implementation falls back to one :meth:`sample_contact` call
+        per entry; subclasses override it with vectorized samplers.  Batched
+        and scalar sampling consume the generator differently, so the two
+        spellings agree in distribution but not draw-for-draw.
+        """
+        generator = rng if rng is not None else self._rng
+        nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+        out = np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        flat = out.reshape(-1)
+        for i, u in enumerate(nodes.reshape(-1).tolist()):
+            contact = self.sample_contact(int(u), generator)
+            if contact is not None:
+                flat[i] = int(contact)
+        return out
+
+    def _coerce_batch(self, nodes: np.ndarray) -> np.ndarray:
+        """Validate a batch of node indices for the native vectorized samplers.
+
+        Returns the batch as a contiguous ``int64`` array of the original
+        shape; raises ``IndexError`` on out-of-range entries.
+        """
+        nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self._graph.num_nodes):
+            raise IndexError("node index out of range")
+        return nodes
+
+    def _batch_matches_scalar(self, cls: type) -> bool:
+        """Whether *cls*'s native batched sampler still describes this scheme.
+
+        A subclass that overrides :meth:`sample_contact` (to change the
+        distribution) without also overriding :meth:`sample_contacts` must not
+        inherit the parent's vectorized sampler — it samples the *parent's*
+        distribution.  Native implementations call this guard and fall back to
+        the scalar loop (which honours the override) when the scalar sampler
+        is no longer *cls*'s own.
+        """
+        return type(self).sample_contact is cls.sample_contact
 
     # ------------------------------------------------------------------ #
     # Convenience helpers

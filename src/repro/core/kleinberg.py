@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.base import AugmentationScheme
+from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.distances import UNREACHABLE, bfs_distances
 from repro.graphs.graph import Graph
 from repro.utils.rng import RngLike
@@ -44,6 +44,7 @@ class DistancePowerScheme(AugmentationScheme):
             raise ValueError("exponent must be non-negative")
         self._exponent = float(exponent)
         self._cache: Dict[int, np.ndarray] = {}
+        self._cumulative: Dict[int, np.ndarray] = {}
 
     @property
     def exponent(self) -> float:
@@ -55,6 +56,7 @@ class DistancePowerScheme(AugmentationScheme):
 
     def reset_cache(self) -> None:
         self._cache.clear()
+        self._cumulative.clear()
 
     def _probabilities(self, node: int) -> np.ndarray:
         probs = self._cache.get(node)
@@ -69,6 +71,13 @@ class DistancePowerScheme(AugmentationScheme):
         self._cache[node] = probs
         return probs
 
+    def _cumulative_probabilities(self, node: int) -> np.ndarray:
+        cumulative = self._cumulative.get(node)
+        if cumulative is None:
+            cumulative = np.cumsum(self._probabilities(node))
+            self._cumulative[node] = cumulative
+        return cumulative
+
     def sample_contact(self, node: int, rng: Optional[np.random.Generator] = None) -> Optional[int]:
         node = check_node_index(node, self._graph.num_nodes)
         generator = rng if rng is not None else self._rng
@@ -76,6 +85,36 @@ class DistancePowerScheme(AugmentationScheme):
         if probs.sum() <= 0:
             return None
         return int(generator.choice(self._graph.num_nodes, p=probs))
+
+    def sample_contacts(
+        self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Batched inverse-CDF sampling over the cached per-node distributions.
+
+        One ``searchsorted`` into the node's cumulative distribution per group
+        of lanes sharing a node; isolated nodes (zero total mass) draw
+        ``NO_CONTACT``.
+        """
+        if not self._batch_matches_scalar(DistancePowerScheme):
+            return super().sample_contacts(nodes, rng)
+        generator = rng if rng is not None else self._rng
+        nodes = self._coerce_batch(nodes)
+        n = self._graph.num_nodes
+        if nodes.size == 0:
+            return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        flat = nodes.reshape(-1)
+        out = np.full(flat.shape, NO_CONTACT, dtype=np.int64)
+        uniq, inverse = np.unique(flat, return_inverse=True)
+        for j, node in enumerate(uniq.tolist()):
+            lanes = np.nonzero(inverse == j)[0]
+            cumulative = self._cumulative_probabilities(int(node))
+            total = float(cumulative[-1]) if cumulative.size else 0.0
+            draws = generator.random(lanes.size)
+            if total <= 0.0:
+                continue
+            picks = np.searchsorted(cumulative, draws * total, side="right")
+            out[lanes] = np.minimum(picks, n - 1)
+        return out.reshape(nodes.shape)
 
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.base import AugmentationScheme
+from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.graph import Graph
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_node_index, check_positive_int
@@ -255,6 +255,45 @@ class MatrixScheme(AugmentationScheme):
         if candidates is None or candidates.size == 0:
             return None  # the chosen label is not used by any node
         return int(candidates[generator.integers(0, candidates.size)])
+
+    def sample_contacts(
+        self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Batched matrix sampling in two vectorized stages.
+
+        Stage 1 groups the batch by *source* label and draws each entry's
+        target label by ``searchsorted`` into the cached cumulative matrix
+        row (entries beyond the row's total mass draw no link — Definition
+        1's sub-stochastic residual).  Stage 2 groups the survivors by
+        *target* label and picks a uniform member of each label group.
+        """
+        if not self._batch_matches_scalar(MatrixScheme):
+            return super().sample_contacts(nodes, rng)
+        generator = rng if rng is not None else self._rng
+        nodes = self._coerce_batch(nodes)
+        if nodes.size == 0:
+            return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        flat = nodes.reshape(-1)
+        out = np.full(flat.shape, NO_CONTACT, dtype=np.int64)
+        target_labels = np.zeros(flat.shape, dtype=np.int64)  # 0 = no link
+        source_labels = self._labels[flat]
+        for label in np.unique(source_labels).tolist():
+            lanes = np.nonzero(source_labels == label)[0]
+            cumulative = self._cumulative_row(int(label))
+            draws = generator.random(lanes.size)
+            total = float(cumulative[-1]) if cumulative.size else 0.0
+            picked = np.searchsorted(cumulative, draws, side="right") + 1
+            target_labels[lanes] = np.where(draws < total, picked, 0)
+        for label in np.unique(target_labels).tolist():
+            if label == 0:
+                continue
+            candidates = self._groups.get(int(label))
+            lanes = np.nonzero(target_labels == label)[0]
+            if candidates is None or candidates.size == 0:
+                continue  # the chosen label is not used by any node
+            picks = generator.integers(0, candidates.size, size=lanes.size)
+            out[lanes] = candidates[picks]
+        return out.reshape(nodes.shape)
 
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)

@@ -32,7 +32,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.base import AugmentationScheme
+from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.core.matrix import AugmentationMatrix, uniform_matrix
 from repro.decomposition.labeling import integer_ancestors, theorem2_labeling
 from repro.decomposition.path_decomposition import PathDecomposition
@@ -204,6 +204,55 @@ class Theorem2Scheme(AugmentationScheme):
         if candidates is None or candidates.size == 0:
             return None
         return int(candidates[generator.integers(0, candidates.size)])
+
+    def sample_contacts(
+        self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Batched (M, L) sampling: split the batch by mixture component.
+
+        Entries falling in the uniform component draw one vectorized uniform
+        node; the ancestor-component entries are grouped by label, draw an
+        ancestor index each (``⌊u·(1 + log n)⌋``, out-of-range = the row's
+        sub-stochastic residual, i.e. no link), and pick a uniform member of
+        the chosen ancestor label's group.
+        """
+        if not self._batch_matches_scalar(Theorem2Scheme):
+            return super().sample_contacts(nodes, rng)
+        generator = rng if rng is not None else self._rng
+        nodes = self._coerce_batch(nodes)
+        n = self._graph.num_nodes
+        if nodes.size == 0:
+            return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        flat = nodes.reshape(-1)
+        out = np.full(flat.shape, NO_CONTACT, dtype=np.int64)
+        if self._uniform_mixture > 0.0:
+            uniform_mask = generator.random(flat.size) < self._uniform_mixture
+        else:
+            uniform_mask = np.zeros(flat.size, dtype=bool)
+        num_uniform = int(np.count_nonzero(uniform_mask))
+        if num_uniform:
+            out[uniform_mask] = generator.integers(0, n, size=num_uniform, dtype=np.int64)
+        ancestor_lanes = np.nonzero(~uniform_mask)[0]
+        if ancestor_lanes.size == 0:
+            return out.reshape(nodes.shape)
+        target_labels = np.zeros(flat.shape, dtype=np.int64)  # 0 = no link
+        source_labels = self._labels[flat[ancestor_lanes]]
+        for label in np.unique(source_labels).tolist():
+            lanes = ancestor_lanes[source_labels == label]
+            ancestors = self._ancestors_of(int(label))
+            indices = (generator.random(lanes.size) * self._denom).astype(np.int64)
+            in_range = indices < ancestors.size
+            target_labels[lanes[in_range]] = ancestors[indices[in_range]]
+        for label in np.unique(target_labels).tolist():
+            if label == 0:
+                continue
+            candidates = self._groups.get(int(label))
+            lanes = np.nonzero(target_labels == label)[0]
+            if candidates is None or candidates.size == 0:
+                continue
+            picks = generator.integers(0, candidates.size, size=lanes.size)
+            out[lanes] = candidates[picks]
+        return out.reshape(nodes.shape)
 
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.base import AugmentationScheme
+from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.graph import Graph
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_node_index
@@ -59,6 +59,23 @@ class UniformScheme(AugmentationScheme):
             contact = int(generator.integers(0, n - 1))
             return contact if contact < node else contact + 1
         return int(generator.integers(0, n))
+
+    def sample_contacts(
+        self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """One vectorized draw for the whole batch (uniform over ``n`` nodes)."""
+        if not self._batch_matches_scalar(UniformScheme):
+            return super().sample_contacts(nodes, rng)
+        generator = rng if rng is not None else self._rng
+        nodes = self._coerce_batch(nodes)
+        n = self._graph.num_nodes
+        if self._exclude_self:
+            if n == 1:
+                return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+            draws = generator.integers(0, n - 1, size=nodes.shape, dtype=np.int64)
+            # Shift draws at or above the excluded index, as in sample_contact.
+            return draws + (draws >= nodes)
+        return generator.integers(0, n, size=nodes.shape, dtype=np.int64)
 
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)

@@ -165,11 +165,19 @@ def route_point(
     With ``pairs`` the expected steps over exactly those pairs are estimated
     (the lower-bound experiments route the proofs' hard pairs); without, the
     config's pair strategy samples diameter-biased pairs.  Either way the
-    shared *oracle* serves every distance array.
+    shared *oracle* serves every distance array (and, under the default lane
+    engine, the precomputed per-target ``next_local`` hop tables), and
+    ``config.engine`` selects the Monte-Carlo engine.
     """
     if pairs is not None:
         estimate: RoutingEstimate = estimate_expected_steps(
-            graph, scheme, pairs, trials=config.trials, seed=seed, oracle=oracle
+            graph,
+            scheme,
+            pairs,
+            trials=config.trials,
+            seed=seed,
+            oracle=oracle,
+            engine=config.engine,
         )
     else:
         estimate = estimate_greedy_diameter(
@@ -180,6 +188,7 @@ def route_point(
             seed=seed,
             pair_strategy=config.pair_strategy,
             oracle=oracle,
+            engine=config.engine,
         )
     return {
         "n": int(graph.num_nodes),

@@ -26,6 +26,12 @@ class ExperimentConfig:
         ``"extremal"`` (greedy-diameter biased) or ``"uniform"``.
     max_size:
         Optional cap applied to ``sizes`` (used by the quick benchmark runs).
+    engine:
+        Routing engine driving the Monte-Carlo trials: ``"lane"`` (default,
+        the vectorized step-synchronous engine) or ``"scalar"`` (the
+        per-route reference loop).  Part of the artifact fingerprint: the two
+        engines are statistically equivalent but draw different random
+        streams, so their cells must not be mixed silently on ``--resume``.
     """
 
     sizes: List[int] = field(default_factory=lambda: [256, 512, 1024, 2048, 4096])
@@ -34,6 +40,7 @@ class ExperimentConfig:
     seed: int = 20070610  # SPAA 2007 submission vintage
     pair_strategy: str = "extremal"
     max_size: Optional[int] = None
+    engine: str = "lane"
 
     def effective_sizes(self) -> List[int]:
         """Sizes after applying ``max_size``."""

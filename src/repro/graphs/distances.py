@@ -37,6 +37,7 @@ from repro.graphs.frontier import (
     UNREACHABLE,
     bfs_distances_many,
     frontier_bfs,
+    frontier_bfs_tree,
     frontier_multi_source_bfs,
 )
 from repro.graphs.graph import Graph
@@ -46,6 +47,7 @@ __all__ = [
     "UNREACHABLE",
     "bfs_distances",
     "bfs_tree",
+    "legacy_bfs_tree",
     "multi_source_bfs",
     "distance_matrix",
     "eccentricity",
@@ -112,9 +114,23 @@ def bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
     Returns ``(dist, parent)`` where ``parent[source] == source`` and
     ``parent[v] == -1`` for unreachable nodes.
 
-    The parent array depends on the intra-level visit order, so this keeps
-    the deterministic queue traversal (parents come out in neighbour-list
-    order) rather than delegating to the frontier engine.
+    Runs on the vectorized frontier engine
+    (:func:`repro.graphs.frontier.frontier_bfs_tree`), whose first-occurrence
+    dedup reproduces the classic queue traversal's parent assignment bitwise
+    (the property tests compare against :func:`legacy_bfs_tree`).  The routing
+    engine uses these parents as ready-made ``next_local`` pointers on trees,
+    where each node's improving neighbour is unique.
+    """
+    return frontier_bfs_tree(graph, source)
+
+
+def legacy_bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference pure-Python ``deque`` BFS tree (the pre-engine implementation).
+
+    The parent array depends on the intra-level visit order; the frontier
+    engine's :func:`bfs_tree` reproduces this deterministic queue order
+    exactly, and the property tests assert the two are bitwise identical.
+    Do not use on hot paths.
     """
     source = check_node_index(source, graph.num_nodes, "source")
     indptr = graph.indptr

@@ -37,6 +37,7 @@ from repro.utils.validation import check_node_index
 __all__ = [
     "UNREACHABLE",
     "frontier_bfs",
+    "frontier_bfs_tree",
     "frontier_multi_source_bfs",
     "bfs_distances_many",
 ]
@@ -96,6 +97,68 @@ def _dedupe(keys: np.ndarray, claim: np.ndarray) -> np.ndarray:
     slots = np.arange(keys.size, dtype=np.int64)
     claim[keys] = slots
     return keys[claim[keys] == slots]
+
+
+def _dedupe_first(keys: np.ndarray, claim: np.ndarray) -> np.ndarray:
+    """Boolean mask keeping the *first* occurrence of every distinct key.
+
+    The scatter runs over the reversed batch so the earliest occurrence's slot
+    is the one that survives in *claim* — the mirror image of :func:`_dedupe`
+    (whose last-write-wins order is fine for distances but wrong for parent
+    pointers, where the queue traversal assigns the first discoverer).
+    """
+    slots = np.arange(keys.size, dtype=np.int64)
+    claim[keys[::-1]] = slots[::-1]
+    return claim[keys] == slots
+
+
+def frontier_bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized BFS distances *and* parent pointers from *source*.
+
+    Returns ``(dist, parent)`` with ``parent[source] == source`` and ``-1``
+    outside the source's component.  Parent assignment is bitwise identical to
+    the classic queue traversal (``legacy_bfs_tree`` in
+    :mod:`repro.graphs.distances`): within a level the frontier is expanded in
+    discovery order with CSR-ordered neighbour lists, and the
+    first-occurrence dedup keeps the earliest discoverer of every node —
+    exactly the node that would have popped first from the deque.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    dist = np.full(n, UNREACHABLE, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    parent[source] = source
+    frontier = np.asarray([source], dtype=np.int64)
+    claim: Optional[np.ndarray] = None
+    level = 0
+    while frontier.size:
+        level += 1
+        if frontier.size <= _SPARSE_FRONTIER:
+            nxt: list = []
+            append = nxt.append
+            for u in frontier.tolist():
+                for v in indices[indptr[u]: indptr[u + 1]].tolist():
+                    if dist[v] == UNREACHABLE:
+                        dist[v] = level
+                        parent[v] = u
+                        append(v)
+            frontier = np.asarray(nxt, dtype=np.int64)
+        else:
+            neighbors, counts = _gather_neighbors(indptr, indices, frontier)
+            owners = np.repeat(frontier, counts)
+            unvisited = dist[neighbors] == UNREACHABLE
+            neighbors = neighbors[unvisited]
+            owners = owners[unvisited]
+            if claim is None:
+                claim = np.empty(n, dtype=np.int64)
+            keep = _dedupe_first(neighbors, claim)
+            frontier = neighbors[keep]
+            parent[frontier] = owners[keep]
+            dist[frontier] = level
+    return dist, parent
 
 
 def frontier_bfs(graph: Graph, source: int, *, cutoff: Optional[int] = None) -> np.ndarray:

@@ -15,9 +15,18 @@ decomposition-local oracle in ``repro.decomposition.bags``).  The
   experiment sweep over many targets cannot exhaust memory,
 * :meth:`prefetch` fills many sources at once through the *batched* engine
   (:func:`repro.graphs.frontier.bfs_distances_many`), one numpy pass per BFS
-  level for the whole batch,
+  level for the whole batch; :meth:`distances_to_many` returns the warmed
+  arrays as one ``(k, n)`` block for lane-style consumers,
 * ball queries (:meth:`ball`, :meth:`ball_size`) reuse whatever distance
-  array is already cached.
+  array is already cached,
+* :meth:`next_local_to` serves the lane routing engine's per-target
+  ``next_local`` pointer tables: for every node, its best *local* next hop
+  towards the target (first CSR-order neighbour at minimum distance, the
+  exact candidate :func:`repro.routing.greedy.greedy_route` would scan to).
+  Computed with one vectorized CSR segment-argmin pass over the cached
+  distance array — or read straight off the BFS parent pointers on trees,
+  where the improving neighbour is unique — and memoised under the same LRU
+  policy as the distance arrays.
 
 Because the graphs are undirected, ``distances_from`` and ``distances_to``
 are the same array; both spellings exist so call sites read naturally.
@@ -26,15 +35,72 @@ are the same array; both spellings exist so call sites read naturally.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.graphs.frontier import UNREACHABLE, bfs_distances_many, frontier_bfs
+from repro.graphs.frontier import (
+    UNREACHABLE,
+    bfs_distances_many,
+    frontier_bfs,
+    frontier_bfs_tree,
+)
 from repro.graphs.graph import Graph
 from repro.utils.validation import check_node_index
 
-__all__ = ["DistanceOracle"]
+__all__ = ["DistanceOracle", "FAR_DISTANCE", "next_local_pointers"]
+
+#: Sentinel larger than any real distance, used in place of ``UNREACHABLE``
+#: (-1, which would win any min-comparison) in the masked routing blocks and
+#: hop comparisons.  The lane engine imports this same constant, so producer
+#: and consumer of the masked blocks can never disagree.
+FAR_DISTANCE: int = np.iinfo(np.int64).max
+
+
+def next_local_pointers(
+    graph: Graph, dist: np.ndarray, *, slot_owner: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-node best local next hop given the BFS distance array *dist*.
+
+    ``out[u]`` is the first CSR-order neighbour of ``u`` attaining the minimum
+    distance among ``u``'s neighbours, provided that minimum strictly improves
+    on ``dist[u]``; otherwise ``-1`` (no improving hop: ``u`` is the target or
+    unreachable).  This reproduces exactly the local candidate
+    :func:`repro.routing.greedy.greedy_route` selects with its strict ``<``
+    scan, so the lane engine's precomputed hop table and the scalar reference
+    walk identical trajectories.
+
+    *dist* must be a genuine BFS distance array (``UNREACHABLE`` outside the
+    target's component), which is what makes the pass cheap: the minimum
+    neighbour distance of a reachable node ``u > 0`` hops away is *exactly*
+    ``dist[u] - 1``, so the argmin collapses to "first CSR slot whose
+    neighbour sits at ``dist[u] - 1``" — one gather, one compare, and a
+    reversed scatter that keeps each node's earliest matching slot.  The
+    target itself (neighbours at distance ≥ 1) and unreachable nodes
+    (neighbours all ``UNREACHABLE``) match no slot and keep ``-1``.
+
+    *slot_owner* is the CSR slot-to-node map ``repeat(arange(n), degrees)``;
+    pass a precomputed one (the oracle caches it) to skip rebuilding it.
+    """
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    out = np.full(n, -1, dtype=np.int64)
+    if indices.size == 0:
+        return out
+    if slot_owner is None:
+        slot_owner = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    # want[slot] = the distance an improving first hop must have.  Owners at
+    # distance 0 want -1 and unreachable owners want -2; no reachable
+    # neighbour has either value and unreachable neighbours (-1) only occur
+    # next to unreachable owners, so both correctly match nothing.
+    slots = np.nonzero(dist[indices] == dist[slot_owner] - 1)[0]
+    first_slot = np.full(n, -1, dtype=np.int64)
+    # Reversed scatter: the last write per owner is its *first* matching slot.
+    first_slot[slot_owner[slots[::-1]]] = slots[::-1]
+    found = np.nonzero(first_slot >= 0)[0]
+    out[found] = indices[first_slot[found]]
+    return out
 
 
 class DistanceOracle:
@@ -60,6 +126,12 @@ class DistanceOracle:
         self._graph = graph
         self._max_entries = max_entries
         self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._next_local: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        #: CSR slot-to-node map, built lazily for next_local computations.
+        self._slot_owner: Optional[np.ndarray] = None
+        #: Single-slot cache of the lane engine's stacked per-target blocks,
+        #: keyed by the exact targets tuple (see :meth:`routing_blocks`).
+        self._blocks: Optional[tuple] = None
         self._hits = 0
         self._misses = 0
 
@@ -93,6 +165,8 @@ class DistanceOracle:
     def clear(self) -> None:
         """Drop every cached array (hit/miss counters are kept)."""
         self._cache.clear()
+        self._next_local.clear()
+        self._blocks = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -121,6 +195,100 @@ class DistanceOracle:
     def distances_to(self, target: int) -> np.ndarray:
         """Distance array *to* ``target`` (== ``distances_from``: undirected graphs)."""
         return self.distances_from(target)
+
+    def distances_to_many(self, targets: Sequence[int]) -> np.ndarray:
+        """Distance block of shape ``(len(targets), n)``, one row per target.
+
+        The missing rows are warmed with one batched frontier sweep
+        (:meth:`prefetch`); cached rows are reused.  Duplicate targets are
+        allowed and simply repeat their row.  The block is a fresh writable
+        array (stacking copies), so lane-engine callers can sentinel-mask it
+        without touching the cached read-only rows.
+        """
+        targets = [check_node_index(int(t), self._graph.num_nodes, "target") for t in targets]
+        if not targets:
+            return np.empty((0, self._graph.num_nodes), dtype=np.int64)
+        self.prefetch(targets)
+        return np.stack([self.distances_to(t) for t in targets])
+
+    def next_local_to(self, target: int) -> np.ndarray:
+        """Per-node best local hop towards *target* (cached, read-only).
+
+        ``next_local[u]`` is the neighbour :func:`repro.routing.greedy.greedy_route`
+        would forward to from ``u`` if ``u`` had no long-range link (``-1``
+        when no neighbour strictly improves on ``dist(u, target)``).  Tables
+        are memoised under the same LRU policy as the distance arrays.
+
+        On a connected tree the table is read directly off the BFS parent
+        pointers (one :func:`~repro.graphs.frontier.frontier_bfs_tree` sweep
+        yields distances *and* pointers — cheaper than the segment-argmin
+        pass, and equivalent because each node's improving neighbour is
+        unique); everywhere else it is one vectorized segment-argmin over the
+        cached distance array.
+        """
+        target = check_node_index(int(target), self._graph.num_nodes, "target")
+        table = self._next_local.get(target)
+        if table is not None:
+            self._next_local.move_to_end(target)
+            return table
+        dist = self._cache.get(target)
+        if dist is None and self._graph.num_edges == self._graph.num_nodes - 1:
+            # Tree-shaped edge count: one sweep gives distances and parents.
+            dist, parent = frontier_bfs_tree(self._graph, target)
+            self._misses += 1
+            self._store(target, dist)
+            if not np.any(dist == UNREACHABLE):
+                # Genuinely a connected tree: the parent pointer *is* the
+                # unique improving neighbour.
+                table = parent.copy()
+                table[target] = -1
+            # else: n-1 edges but disconnected (so some component has a
+            # cycle) — fall through to the argmin pass on the fresh array.
+        if dist is None:
+            dist = self.distances_from(target)
+        if table is None:
+            if self._slot_owner is None:
+                self._slot_owner = np.repeat(
+                    np.arange(self._graph.num_nodes, dtype=np.int64),
+                    np.diff(self._graph.indptr),
+                )
+            table = next_local_pointers(self._graph, dist, slot_owner=self._slot_owner)
+        table.setflags(write=False)
+        self._next_local[target] = table
+        if self._max_entries is not None:
+            while len(self._next_local) > self._max_entries:
+                self._next_local.popitem(last=False)
+        return table
+
+    def routing_blocks(self, targets: Sequence[int]) -> tuple:
+        """Stacked lane-engine blocks for *targets*: ``(dist_block, next_local_block)``.
+
+        ``dist_block[i]`` is ``dist_G(·, targets[i])`` with ``UNREACHABLE``
+        already replaced by a larger-than-any-distance sentinel (so the
+        engine's min-comparisons need no per-step masking), and
+        ``next_local_block[i]`` the matching hop table.  Both are read-only,
+        shape ``(len(targets), n)``.
+
+        The stacked pair is memoised in a **single-slot** cache keyed by the
+        exact targets tuple: an experiment cell routes every scheme over the
+        same seeded pairs, so the second and later schemes (and repeated
+        benchmark rounds) reuse the blocks outright instead of re-stacking
+        ~``k·n`` arrays per estimate.  Any other targets tuple rebuilds the
+        slot from the per-target LRU caches.
+        """
+        key = tuple(int(t) for t in targets)
+        if self._blocks is not None and self._blocks[0] == key:
+            return self._blocks[1], self._blocks[2]
+        dist_block = self.distances_to_many(key)
+        dist_block[dist_block == UNREACHABLE] = FAR_DISTANCE
+        dist_block.setflags(write=False)
+        if key:
+            next_local_block = np.stack([self.next_local_to(t) for t in key])
+        else:
+            next_local_block = np.empty((0, self._graph.num_nodes), dtype=np.int64)
+        next_local_block.setflags(write=False)
+        self._blocks = (key, dist_block, next_local_block)
+        return dist_block, next_local_block
 
     def __call__(self, u: int, v: int) -> int:
         """``dist_G(u, v)`` (``UNREACHABLE`` = -1 across components)."""

@@ -12,11 +12,13 @@ the long-range links re-sampled lazily per trial.
 """
 
 from repro.routing.greedy import greedy_route, RouteResult
+from repro.routing.engine import LaneBatchResult, materialize_contact_table, route_lanes
 from repro.routing.simulator import (
     estimate_expected_steps,
     estimate_greedy_diameter,
     PairEstimate,
     RoutingEstimate,
+    ROUTING_ENGINES,
 )
 from repro.routing.sampling import uniform_pairs, extremal_pairs, all_pairs
 from repro.routing.statistics import summarize, SummaryStats
@@ -24,10 +26,14 @@ from repro.routing.statistics import summarize, SummaryStats
 __all__ = [
     "greedy_route",
     "RouteResult",
+    "LaneBatchResult",
+    "route_lanes",
+    "materialize_contact_table",
     "estimate_expected_steps",
     "estimate_greedy_diameter",
     "PairEstimate",
     "RoutingEstimate",
+    "ROUTING_ENGINES",
     "uniform_pairs",
     "extremal_pairs",
     "all_pairs",

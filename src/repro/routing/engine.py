@@ -1,0 +1,295 @@
+"""Step-synchronous lane engine for Monte-Carlo greedy routing.
+
+The scalar estimator advances one (pair, trial) route one step at a time
+through Python (`greedy_route`), which made the routing phase the last
+scalar hot path after the frontier-BFS PR vectorized every distance
+computation.  This module applies the same level-synchronous trick to the
+routes themselves: every (pair, trial) combination is a **lane** in flat
+numpy state arrays, and one iteration of the engine advances *all* active
+lanes by one greedy step.
+
+What makes the greedy step fully vectorizable is that, given the distance
+array ``dist_G(·, t)``, the best *local* next hop of every node is
+deterministic — it does not depend on the trial's random long-range links.
+The per-target pointer table ``next_local[u]`` (first CSR-order neighbour of
+``u`` at minimum distance, exactly the candidate ``greedy_route`` scans to)
+is precomputed once per target with a vectorized CSR segment-argmin pass and
+cached on the shared :class:`~repro.graphs.oracle.DistanceOracle`.  A lane
+step then reduces to elementwise numpy arithmetic across thousands of lanes:
+
+1. gather each active lane's current distance and precomputed local hop,
+2. draw every lane's long-range contact in one *batched* call
+   (:meth:`~repro.core.base.AugmentationScheme.sample_contacts`),
+3. compare the contact's distance against the local hop's (the long link is
+   preferred on ties but must strictly improve on the current node — the same
+   rule ``greedy_route`` documents),
+4. advance, stamp arrivals, retire exhausted lanes.
+
+Sampling correctness
+--------------------
+The scalar engine memoises each trial's contacts lazily (a node's link is
+drawn on first visit and reused on revisits).  Greedy routing strictly
+decreases the distance to the target at every step, so **a route can never
+revisit a node** — within one trial each node's contact is drawn at most
+once, and drawing a fresh contact per (lane, step) is *exactly* the same
+distribution.  The memoisation table therefore only matters when the caller
+wants reproducible trajectories across engines: :func:`materialize_contact_table`
+builds the lane-indexed table ``contacts[lane, node]`` up front, and both
+engines consume it verbatim — the equivalence tests assert identical step
+counts, long-link counts and success flags per lane, for every registered
+scheme.
+
+Randomness: the engine consumes one generator for the whole batch (one
+batched draw per step), so its stream differs from the scalar engine's
+per-pair streams.  Given the same seed the engine is deterministic;
+against the scalar engine it is statistically equivalent, not bitwise
+(the seeded parity tests pin this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import NO_CONTACT, AugmentationScheme
+from repro.graphs.graph import Graph
+from repro.graphs.oracle import FAR_DISTANCE, DistanceOracle
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LaneBatchResult", "route_lanes", "materialize_contact_table"]
+
+#: The oracle's unreachable sentinel (larger than any real distance); the
+#: routing blocks arrive already masked with it.
+_FAR: int = FAR_DISTANCE
+
+
+@dataclass(frozen=True)
+class LaneBatchResult:
+    """Outcome of one lane-engine batch: ``num_pairs x trials`` routes.
+
+    Lane ``l`` is trial ``l % trials`` of pair ``l // trials``.  ``steps``
+    counts edges traversed (partial for failed lanes, exactly like the scalar
+    ``RouteResult``), ``long_links`` how many of them used the long-range
+    contact.
+    """
+
+    steps: np.ndarray
+    success: np.ndarray
+    long_links: np.ndarray
+    pair_index: np.ndarray
+    trials: int
+
+    @property
+    def num_lanes(self) -> int:
+        return int(self.steps.size)
+
+    def pair_lanes(self, pair: int) -> slice:
+        """Slice selecting the lanes of *pair* (its trials, in order)."""
+        return slice(pair * self.trials, (pair + 1) * self.trials)
+
+
+def materialize_contact_table(
+    scheme: AugmentationScheme, num_lanes: int, rng: RngLike = None
+) -> np.ndarray:
+    """Eagerly sample a full ``(num_lanes, n)`` lane-indexed contact table.
+
+    Row ``l`` is one independent draw of every node's long-range link — the
+    links trial ``l`` would reveal lazily.  Feeding the same table to the lane
+    engine and to the scalar reference makes their trajectories identical,
+    which is how the equivalence tests pin the engines to each other.  (At
+    ``O(num_lanes * n)`` memory this is for tests and small graphs; the
+    engine's default lazy path samples only the nodes routes actually visit.)
+    """
+    num_lanes = check_positive_int(num_lanes, "num_lanes")
+    generator = ensure_rng(rng)
+    n = scheme.graph.num_nodes
+    nodes = np.broadcast_to(np.arange(n, dtype=np.int64), (num_lanes, n))
+    return scheme.sample_contacts(nodes, generator)
+
+
+def _as_pair_arrays(
+    graph: Graph, pairs: Sequence[Tuple[int, int]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    n = graph.num_nodes
+    sources = np.asarray([p[0] for p in pairs], dtype=np.int64)
+    targets = np.asarray([p[1] for p in pairs], dtype=np.int64)
+    for arr, what in ((sources, "source"), (targets, "target")):
+        if arr.size and (arr.min() < 0 or arr.max() >= n):
+            raise ValueError(f"{what} index out of range")
+    return sources, targets
+
+
+def route_lanes(
+    graph: Graph,
+    scheme: AugmentationScheme,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    trials: int,
+    seed: RngLike = None,
+    max_steps: Optional[int] = None,
+    oracle: Optional[DistanceOracle] = None,
+    contact_table: Optional[np.ndarray] = None,
+) -> LaneBatchResult:
+    """Route ``len(pairs) * trials`` greedy lanes step-synchronously.
+
+    Parameters
+    ----------
+    graph, scheme:
+        The augmented-graph model ``(G, φ)``.
+    pairs:
+        Ordered (source, target) pairs; lane ``l`` routes pair
+        ``l // trials``.
+    trials:
+        Independent long-link samplings per pair (lanes per pair).
+    seed:
+        Seed / generator for the whole batch (one stream, batched draws).
+    max_steps:
+        Per-route step budget, as in :func:`~repro.routing.greedy.greedy_route`
+        (default ``n``).  Without an explicit budget a failed lane means
+        inconsistent inputs and raises ``RuntimeError``.
+    oracle:
+        Shared :class:`~repro.graphs.oracle.DistanceOracle`; the engine pulls
+        one distance row and one ``next_local`` table per pair through it (a
+        private oracle is created when omitted).
+    contact_table:
+        Optional materialized ``(num_lanes, n)`` table from
+        :func:`materialize_contact_table`; lane ``l`` at node ``u`` then uses
+        ``contact_table[l, u]`` instead of drawing fresh contacts — the
+        reproducible-trajectory mode of the equivalence contract.
+    """
+    if scheme.graph is not graph and not scheme.graph.same_structure(graph):
+        raise ValueError("scheme was built for a different graph")
+    trials = check_positive_int(trials, "trials")
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("need at least one (source, target) pair")
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    elif oracle.graph is not graph and not oracle.graph.same_structure(graph):
+        raise ValueError("oracle was built for a different graph")
+    n = graph.num_nodes
+    num_pairs = len(pairs)
+    num_lanes = num_pairs * trials
+    sources, targets = _as_pair_arrays(graph, pairs)
+    if contact_table is not None:
+        contact_table = np.asarray(contact_table, dtype=np.int64)
+        if contact_table.shape != (num_lanes, n):
+            raise ValueError(
+                f"contact_table must have shape (num_lanes, n) = ({num_lanes}, {n})"
+            )
+
+    # Per-pair distance rows (sentinel-masked) and local-hop tables, all
+    # through the shared oracle: one batched frontier sweep for the missing
+    # targets, one cached argmin pass per distinct target, and a single-slot
+    # block cache so repeated estimates over the same targets (e.g. every
+    # scheme of an experiment cell) skip the stacking entirely.  The blocks
+    # are consumed through flat ``row * n + node`` keys, like the frontier
+    # engine's batched BFS.
+    dist_block, next_local_block = oracle.routing_blocks(targets)
+    flat_dist = dist_block.reshape(-1)
+    flat_local = next_local_block.reshape(-1)
+    unreachable = dist_block[np.arange(num_pairs), sources] == _FAR
+    if np.any(unreachable):
+        bad = int(np.nonzero(unreachable)[0][0])
+        raise ValueError(
+            f"target is not reachable from source for pair {tuple(pairs[bad])}"
+        )
+
+    # Flat lane state.  Lane l = trial l % trials of pair l // trials.  The
+    # loop keeps only *active* lanes (ids/base/cur/spent compacted in lock
+    # step) and scatters results into the full-size arrays as lanes retire.
+    steps = np.zeros(num_lanes, dtype=np.int64)
+    long_links = np.zeros(num_lanes, dtype=np.int64)
+    success = np.zeros(num_lanes, dtype=bool)
+    ids = np.arange(num_lanes, dtype=np.int64)
+    base = np.repeat(np.arange(num_pairs, dtype=np.int64) * n, trials)
+    cur = np.repeat(sources, trials)
+    tgt = np.repeat(targets, trials)
+    spent = np.zeros(num_lanes, dtype=np.int64)
+    used = np.zeros(num_lanes, dtype=np.int64)
+    arrived = cur == tgt  # degenerate (s == t) lanes arrive in 0 steps
+    if np.any(arrived):
+        success[ids[arrived]] = True
+        keep = ~arrived
+        ids, base, cur, tgt, spent, used = (
+            a[keep] for a in (ids, base, cur, tgt, spent, used)
+        )
+    generator = ensure_rng(seed)
+    budget = n if max_steps is None else int(max_steps)
+
+    while ids.size:
+        # Budget check first, as in greedy_route: a lane that has spent its
+        # whole budget without arriving fails *before* taking another step.
+        over = spent >= budget
+        if np.any(over):
+            failed = over  # success stays False; steps/long were scattered
+            steps[ids[failed]] = spent[failed]
+            long_links[ids[failed]] = used[failed]
+            keep = ~failed
+            ids, base, cur, tgt, spent, used = (
+                a[keep] for a in (ids, base, cur, tgt, spent, used)
+            )
+            if not ids.size:
+                break
+        keys = base + cur
+        dist_cur = flat_dist.take(keys)
+        local_hop = flat_local.take(keys)
+        if contact_table is not None:
+            contacts = contact_table[ids, cur]
+        else:
+            contacts = scheme.sample_contacts(cur, generator)
+        valid = (contacts != NO_CONTACT) & (contacts != cur)
+        has_local = local_hop >= 0
+        dist_local = np.where(
+            has_local, flat_dist.take(base + np.where(has_local, local_hop, 0)), _FAR
+        )
+        dist_contact = np.where(
+            valid, flat_dist.take(base + np.where(valid, contacts, 0)), _FAR
+        )
+        # greedy_route's rule: the long link must strictly improve on the
+        # current node and is preferred on ties with the best local hop.
+        use_long = valid & (dist_contact < dist_cur) & (
+            dist_contact <= np.minimum(dist_local, dist_cur)
+        )
+        hop = np.where(use_long, contacts, local_hop)
+        moved = hop >= 0
+        if not np.all(moved):
+            # No improving hop can only mean inconsistent inputs; terminate
+            # unsuccessfully exactly like greedy_route's best_node < 0.
+            stuck = ~moved
+            steps[ids[stuck]] = spent[stuck]
+            long_links[ids[stuck]] = used[stuck]
+            ids, base, cur, tgt, spent, used, hop, use_long = (
+                a[moved] for a in (ids, base, cur, tgt, spent, used, hop, use_long)
+            )
+        cur = hop
+        spent = spent + 1
+        used = used + use_long
+        at_target = cur == tgt
+        if np.any(at_target):
+            done = ids[at_target]
+            success[done] = True
+            steps[done] = spent[at_target]
+            long_links[done] = used[at_target]
+            keep = ~at_target
+            ids, base, cur, tgt, spent, used = (
+                a[keep] for a in (ids, base, cur, tgt, spent, used)
+            )
+
+    if max_steps is None and not np.all(success):
+        bad_lane = int(np.nonzero(~success)[0][0])
+        s, t = pairs[bad_lane // trials]
+        raise RuntimeError(
+            f"greedy route {s}->{t} failed without a max_steps budget; "
+            "the distance array and graph are inconsistent"
+        )
+    return LaneBatchResult(
+        steps=steps,
+        success=success,
+        long_links=long_links,
+        pair_index=np.repeat(np.arange(num_pairs, dtype=np.int64), trials),
+        trials=trials,
+    )

@@ -8,12 +8,28 @@ deterministic).  The estimator therefore:
    :class:`~repro.graphs.oracle.DistanceOracle` (one vectorized BFS, memoised
    across pairs, trials and — when the caller passes its own oracle — across
    the whole experiment run),
-2. for each trial, samples long-range links *lazily*: a node's contact is
-   drawn the first time the route visits it and memoised for the remainder of
-   the trial — statistically identical to sampling all ``n`` links upfront
-   because the links are independent,
+2. samples long-range links only where routes actually travel: a node's
+   contact is drawn when a route visits it — statistically identical to
+   sampling all ``n`` links upfront because the links are independent,
 3. averages the step counts over trials, and per experiment aggregates over a
    set of pairs (mean = average-case cost, max = greedy-diameter estimate).
+
+Two interchangeable engines drive step 2:
+
+* ``engine="lane"`` (default) — the step-synchronous lane engine of
+  :mod:`repro.routing.engine`: every (pair, trial) is a lane in flat numpy
+  state arrays and each iteration advances all active lanes at once, with
+  contacts drawn in one batched
+  :meth:`~repro.core.base.AugmentationScheme.sample_contacts` call per step.
+* ``engine="scalar"`` — the historical per-route Python loop over
+  :func:`~repro.routing.greedy.greedy_route`, kept as the readable reference
+  implementation and for the equivalence tests.
+
+The engines walk identical trajectories when fed the same materialized
+contact table (see :func:`repro.routing.engine.materialize_contact_table`;
+asserted per lane for every registered scheme) and are statistically
+equivalent — not bitwise, their generator streams differ — on the default
+lazy-sampling path.
 
 Truncated trials (routes that hit ``max_steps`` before reaching the target)
 are *excluded* from the step averages and counted in
@@ -26,20 +42,30 @@ inconsistent inputs, so it raises ``RuntimeError``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.base import AugmentationScheme
+from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import DistanceOracle
+from repro.routing.engine import route_lanes
 from repro.routing.greedy import greedy_route
 from repro.routing.sampling import extremal_pairs, uniform_pairs
 from repro.routing.statistics import SummaryStats, summarize
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive_int
 
-__all__ = ["PairEstimate", "RoutingEstimate", "estimate_expected_steps", "estimate_greedy_diameter"]
+__all__ = [
+    "PairEstimate",
+    "RoutingEstimate",
+    "ROUTING_ENGINES",
+    "estimate_expected_steps",
+    "estimate_greedy_diameter",
+]
+
+#: Engines accepted by the ``engine=`` keyword (and the CLI ``--engine``).
+ROUTING_ENGINES: Tuple[str, ...] = ("lane", "scalar")
 
 
 @dataclass(frozen=True)
@@ -120,22 +146,34 @@ def _route_trials(
     rng: np.random.Generator,
     max_steps: Optional[int],
 ) -> Tuple[List[int], int, int, int]:
-    """Run *trials* independent routes for one pair.
+    """Run *trials* independent routes for one pair (the scalar engine).
 
     Returns ``(successful step counts, failed trials, long links, total links)``.
+
+    Contact memoisation is hoisted out of the trial loop into two reusable
+    arrays keyed by (trial, node): ``contact_stamp[u]`` records the last trial
+    that sampled ``u`` (so no per-trial dict or closure is allocated, and no
+    O(n) reset is paid between trials) and ``contact_cache[u]`` holds that
+    trial's draw.
     """
     steps: List[int] = []
     failures = 0
     long_links = 0
     total_links = 0
-    for _ in range(trials):
-        contacts: Dict[int, Optional[int]] = {}
+    n = graph.num_nodes
+    contact_stamp = np.zeros(n, dtype=np.int64)  # 0 = never sampled
+    contact_cache = np.full(n, NO_CONTACT, dtype=np.int64)
+    trial_id = 0
 
-        def contact_of(u: int) -> Optional[int]:
-            if u not in contacts:
-                contacts[u] = scheme.sample_contact(u, rng)
-            return contacts[u]
+    def contact_of(u: int) -> Optional[int]:
+        if contact_stamp[u] != trial_id:
+            contact_stamp[u] = trial_id
+            sampled = scheme.sample_contact(u, rng)
+            contact_cache[u] = NO_CONTACT if sampled is None else sampled
+        cached = contact_cache[u]
+        return None if cached == NO_CONTACT else int(cached)
 
+    for trial_id in range(1, trials + 1):
         result = greedy_route(
             graph,
             dist_to_target,
@@ -167,6 +205,7 @@ def estimate_expected_steps(
     seed: RngLike = None,
     max_steps: Optional[int] = None,
     oracle: Optional[DistanceOracle] = None,
+    engine: str = "lane",
 ) -> RoutingEstimate:
     """Estimate ``E(φ, s, t)`` for every pair in *pairs* and aggregate.
 
@@ -179,7 +218,9 @@ def estimate_expected_steps(
     trials:
         Independent long-link samplings per pair.
     seed:
-        Experiment-level seed; per-pair streams are derived deterministically.
+        Experiment-level seed.  The scalar engine derives one stream per pair;
+        the lane engine consumes a single stream with batched draws — both
+        deterministic given the seed, but not bitwise identical to each other.
     max_steps:
         Safety bound forwarded to :func:`greedy_route`.  Trials that exhaust
         it are counted in ``failed_trials`` and excluded from the means; a
@@ -190,7 +231,15 @@ def estimate_expected_steps(
         the per-target distance arrays.  Pass one oracle across calls (and to
         :class:`~repro.core.ball_scheme.BallScheme`) to reuse BFS work for an
         entire experiment; by default a private oracle is created per call.
+    engine:
+        ``"lane"`` (default, the vectorized step-synchronous engine of
+        :mod:`repro.routing.engine`) or ``"scalar"`` (the per-route Python
+        reference loop).
     """
+    if engine not in ROUTING_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {', '.join(ROUTING_ENGINES)}"
+        )
     if scheme.graph is not graph and not scheme.graph.same_structure(graph):
         raise ValueError("scheme was built for a different graph")
     trials = check_positive_int(trials, "trials")
@@ -201,6 +250,21 @@ def estimate_expected_steps(
         oracle = DistanceOracle(graph)
     elif oracle.graph is not graph and not oracle.graph.same_structure(graph):
         raise ValueError("oracle was built for a different graph")
+    if engine == "lane":
+        return _estimate_lane(graph, scheme, pairs, trials, seed, max_steps, oracle)
+    return _estimate_scalar(graph, scheme, pairs, trials, seed, max_steps, oracle)
+
+
+def _estimate_scalar(
+    graph: Graph,
+    scheme: AugmentationScheme,
+    pairs: List[Tuple[int, int]],
+    trials: int,
+    seed: RngLike,
+    max_steps: Optional[int],
+    oracle: DistanceOracle,
+) -> RoutingEstimate:
+    """The historical per-route loop (``engine="scalar"``)."""
     rngs = spawn_rngs(seed, len(pairs))
     oracle.prefetch(target for (_, target) in pairs)
     estimates: List[PairEstimate] = []
@@ -242,6 +306,59 @@ def estimate_expected_steps(
     )
 
 
+def _estimate_lane(
+    graph: Graph,
+    scheme: AugmentationScheme,
+    pairs: List[Tuple[int, int]],
+    trials: int,
+    seed: RngLike,
+    max_steps: Optional[int],
+    oracle: DistanceOracle,
+) -> RoutingEstimate:
+    """Fold one lane-engine batch into the per-pair estimate structure."""
+    batch = route_lanes(
+        graph,
+        scheme,
+        pairs,
+        trials=trials,
+        seed=seed,
+        max_steps=max_steps,
+        oracle=oracle,
+    )
+    estimates: List[PairEstimate] = []
+    all_steps: List[int] = []
+    for i, (source, target) in enumerate(pairs):
+        lanes = batch.pair_lanes(i)
+        ok = batch.success[lanes]
+        steps = batch.steps[lanes][ok].tolist()
+        pair_failures = int(np.count_nonzero(~ok))
+        if not steps:
+            raise ValueError(
+                f"all {trials} trials for pair ({source}, {target}) exceeded "
+                f"max_steps={max_steps}; raise the budget to estimate this pair"
+            )
+        estimates.append(
+            PairEstimate(
+                source=source,
+                target=target,
+                graph_distance=int(oracle.distances_to(target)[source]),
+                stats=summarize(steps),
+                failed_trials=pair_failures,
+            )
+        )
+        all_steps.extend(steps)
+    overall = summarize(all_steps)
+    total_links = int(batch.steps.sum())
+    return RoutingEstimate(
+        pairs=estimates,
+        mean=overall.mean,
+        diameter=max(p.mean for p in estimates),
+        trials=trials,
+        long_link_fraction=(int(batch.long_links.sum()) / total_links) if total_links else 0.0,
+        failed_trials=int(np.count_nonzero(~batch.success)),
+    )
+
+
 def estimate_greedy_diameter(
     graph: Graph,
     scheme: AugmentationScheme,
@@ -252,6 +369,7 @@ def estimate_greedy_diameter(
     pair_strategy: str = "extremal",
     max_steps: Optional[int] = None,
     oracle: Optional[DistanceOracle] = None,
+    engine: str = "lane",
 ) -> RoutingEstimate:
     """Estimate the greedy diameter ``diam(G, φ)`` by sampling hard pairs.
 
@@ -282,4 +400,5 @@ def estimate_greedy_diameter(
         seed=routing_seed,
         max_steps=max_steps,
         oracle=oracle,
+        engine=engine,
     )

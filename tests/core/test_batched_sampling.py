@@ -1,0 +1,154 @@
+"""Tests for the batched ``sample_contacts`` API across every scheme.
+
+The contract: each entry of the returned array is one independent draw from
+``φ_{nodes[i]}`` (``NO_CONTACT`` for "no link"), duplicates allowed.  Native
+vectorized implementations consume the generator differently from the scalar
+path, so the checks here are distributional (support + empirical frequencies
+against ``contact_distribution``) rather than draw-for-draw — except for the
+base-class fallback, which must replay the scalar sampler exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ball_scheme import BallScheme
+from repro.core.base import NO_CONTACT, AugmentationScheme
+from repro.core.kleinberg import DistancePowerScheme
+from repro.core.matrix import MatrixScheme, uniform_matrix
+from repro.core.matrix_label import Theorem2Scheme
+from repro.core.uniform import UniformScheme
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+SCHEME_NAMES = ["uniform", "uniform-noself", "ball", "theorem2", "kleinberg", "matrix"]
+
+
+def _scheme_for(name: str, graph: Graph):
+    if name == "uniform":
+        return UniformScheme(graph, seed=1)
+    if name == "uniform-noself":
+        return UniformScheme(graph, exclude_self=True, seed=1)
+    if name == "ball":
+        return BallScheme(graph, seed=1)
+    if name == "theorem2":
+        return Theorem2Scheme(graph, seed=1)
+    if name == "kleinberg":
+        return DistancePowerScheme(graph, 2.0, seed=1)
+    if name == "matrix":
+        return MatrixScheme(graph, uniform_matrix(graph.num_nodes), seed=1)
+    raise AssertionError(name)
+
+
+@pytest.fixture
+def tree20() -> Graph:
+    return generators.random_tree(20, seed=5)
+
+
+class TestBatchedDistribution:
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_empirical_frequencies_match_distribution(self, scheme_name, tree20):
+        scheme = _scheme_for(scheme_name, tree20)
+        node = 4
+        draws = 4000
+        exact = scheme.contact_distribution(node)
+        rng = np.random.default_rng(7)
+        samples = scheme.sample_contacts(np.full(draws, node), rng)
+        assert samples.shape == (draws,)
+        linked = samples[samples != NO_CONTACT]
+        # Support: every sampled contact carries positive probability.
+        assert np.all(exact[linked] > 0.0)
+        # Frequencies: within a loose Monte-Carlo tolerance of the exact φ_u.
+        counts = np.bincount(linked, minlength=tree20.num_nodes)
+        np.testing.assert_allclose(counts / draws, exact, atol=0.035)
+        # Residual mass = probability of drawing no link.
+        no_link = np.count_nonzero(samples == NO_CONTACT) / draws
+        assert no_link == pytest.approx(1.0 - exact.sum(), abs=0.035)
+
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_mixed_batch_with_duplicates(self, scheme_name, tree20):
+        scheme = _scheme_for(scheme_name, tree20)
+        nodes = np.array([0, 7, 7, 3, 0, 19, 7])
+        rng = np.random.default_rng(11)
+        samples = scheme.sample_contacts(nodes, rng)
+        assert samples.shape == nodes.shape
+        for i, u in enumerate(nodes):
+            if samples[i] != NO_CONTACT:
+                assert scheme.contact_distribution(int(u))[samples[i]] > 0.0
+
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_two_dimensional_batch_preserves_shape(self, scheme_name, tree20):
+        scheme = _scheme_for(scheme_name, tree20)
+        nodes = np.arange(20).reshape(4, 5)
+        samples = scheme.sample_contacts(nodes, np.random.default_rng(2))
+        assert samples.shape == (4, 5)
+
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_out_of_range_nodes_rejected(self, scheme_name, tree20):
+        scheme = _scheme_for(scheme_name, tree20)
+        with pytest.raises((IndexError, ValueError)):
+            scheme.sample_contacts(np.array([0, 20]), np.random.default_rng(0))
+
+    def test_empty_batch(self, tree20):
+        for name in SCHEME_NAMES:
+            scheme = _scheme_for(name, tree20)
+            out = scheme.sample_contacts(np.empty(0, dtype=np.int64), np.random.default_rng(0))
+            assert out.shape == (0,)
+
+
+class TestScalarFallback:
+    def test_base_fallback_replays_scalar_sampler(self, tree20):
+        # The base-class implementation must consume the generator exactly
+        # like a sequence of sample_contact calls.
+        scheme = UniformScheme(tree20, seed=1)
+        nodes = np.array([3, 3, 9, 0])
+        batched = AugmentationScheme.sample_contacts(
+            scheme, nodes, np.random.default_rng(21)
+        )
+        rng = np.random.default_rng(21)
+        expected = [scheme.sample_contact(int(u), rng) for u in nodes]
+        expected = [NO_CONTACT if c is None else c for c in expected]
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_scalar_override_disables_native_batch(self, tree20):
+        # A subclass changing the distribution via sample_contact alone must
+        # not inherit the parent's vectorized sampler.
+        class Constant(UniformScheme):
+            def sample_contact(self, node, rng=None):
+                return 0
+
+        class NoLinks(BallScheme):
+            def sample_contact(self, node, rng=None):
+                return None
+
+        rng = np.random.default_rng(0)
+        assert np.all(Constant(tree20, seed=1).sample_contacts(np.arange(20), rng) == 0)
+        assert np.all(
+            NoLinks(tree20, seed=1).sample_contacts(np.arange(20), rng) == NO_CONTACT
+        )
+
+    def test_intact_subclass_keeps_native_batch(self, tree20):
+        # Subclassing without touching sample_contact keeps the fast path.
+        class Renamed(UniformScheme):
+            scheme_name = "renamed"
+
+        scheme = Renamed(tree20, seed=1)
+        assert scheme._batch_matches_scalar(UniformScheme)
+
+
+class TestBallProfileCache:
+    def test_profiles_respect_oracle_lru_cap(self):
+        from repro.graphs.oracle import DistanceOracle
+
+        g = generators.cycle_graph(32)
+        oracle = DistanceOracle(g, max_entries=3)
+        scheme = BallScheme(g, seed=1, oracle=oracle)
+        scheme.sample_contacts(np.arange(10), np.random.default_rng(0))
+        assert len(scheme._profiles) <= 3
+
+    def test_reset_cache_drops_profiles(self):
+        g = generators.cycle_graph(16)
+        scheme = BallScheme(g, seed=1)
+        scheme.sample_contacts(np.arange(8), np.random.default_rng(0))
+        assert len(scheme._profiles) > 0
+        scheme.reset_cache()
+        assert len(scheme._profiles) == 0

@@ -36,3 +36,11 @@ class TestExperimentConfig:
     def test_fingerprint_distinguishes_configs(self):
         cfg = ExperimentConfig()
         assert cfg.fingerprint() != cfg.scaled(trials=cfg.trials + 1).fingerprint()
+
+    def test_engine_default_and_fingerprint(self):
+        cfg = ExperimentConfig()
+        assert cfg.engine == "lane"
+        assert cfg.fingerprint()["engine"] == "lane"
+        # The engines draw different random streams, so swapping one must
+        # invalidate --resume artifacts via the fingerprint.
+        assert cfg.fingerprint() != cfg.scaled(engine="scalar").fingerprint()

@@ -163,3 +163,55 @@ class TestLegacyReference:
             mat = distance_matrix(g)
             for u in range(g.num_nodes):
                 np.testing.assert_array_equal(mat[u], bfs_distances(g, u))
+
+
+class TestBfsTreeEngine:
+    """The vectorized bfs_tree must be bitwise identical to the deque loop."""
+
+    def _portfolio(self):
+        graphs = [
+            generators.path_graph(17),
+            generators.cycle_graph(30),
+            generators.grid_graph([7, 9]),
+            generators.random_tree(120, seed=2),
+            generators.erdos_renyi_graph(150, 0.03, seed=4, connect=False),
+            generators.lollipop_graph(8, 40),
+        ]
+        # Disconnected union: ring + isolated nodes.
+        ring = generators.cycle_graph(12)
+        graphs.append(
+            Graph.from_edges(
+                16, [(int(u), int(v)) for u in ring.nodes() for v in ring.neighbors(u) if u < v]
+            )
+        )
+        return graphs
+
+    def test_matches_legacy_on_portfolio(self):
+        from repro.graphs.distances import legacy_bfs_tree
+
+        for g in self._portfolio():
+            for source in range(0, g.num_nodes, max(1, g.num_nodes // 7)):
+                dist_fast, parent_fast = bfs_tree(g, source)
+                dist_ref, parent_ref = legacy_bfs_tree(g, source)
+                np.testing.assert_array_equal(dist_fast, dist_ref)
+                np.testing.assert_array_equal(parent_fast, parent_ref)
+
+    def test_wide_frontier_takes_vectorized_path(self):
+        # A star's first frontier has n-1 nodes, well past the sparse cutoff.
+        from repro.graphs.distances import legacy_bfs_tree
+
+        g = generators.star_graph(200)
+        dist_fast, parent_fast = bfs_tree(g, 0)
+        dist_ref, parent_ref = legacy_bfs_tree(g, 0)
+        np.testing.assert_array_equal(dist_fast, dist_ref)
+        np.testing.assert_array_equal(parent_fast, parent_ref)
+
+    def test_parent_is_closer_neighbor(self):
+        g = generators.grid_graph([6, 6])
+        dist, parent = bfs_tree(g, 13)
+        for v in range(g.num_nodes):
+            if v == 13:
+                assert parent[v] == v
+            else:
+                assert parent[v] in g.neighbors(v)
+                assert dist[parent[v]] == dist[v] - 1

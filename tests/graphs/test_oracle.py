@@ -141,3 +141,122 @@ class TestSharedAcrossSubsystems:
 
         with pytest.raises(ValueError):
             BallScheme(cycle12, seed=0, oracle=DistanceOracle(path8))
+
+
+def _brute_force_next_local(graph, dist):
+    """Reference: replay greedy_route's strict-< local scan for every node."""
+    out = np.full(graph.num_nodes, -1, dtype=np.int64)
+    for u in range(graph.num_nodes):
+        best_dist = dist[u]
+        if best_dist == UNREACHABLE:
+            continue
+        best = -1
+        for v in graph.neighbors(u):
+            dv = dist[v]
+            if dv != UNREACHABLE and dv < best_dist:
+                best_dist = dv
+                best = int(v)
+        out[u] = best
+    return out
+
+
+class TestNextLocal:
+    def _portfolio(self):
+        from repro.graphs.graph import Graph
+
+        two_cycles = Graph.from_edges(
+            23,
+            [(i, (i + 1) % 14) for i in range(14)]
+            + [(14 + i, 14 + (i + 1) % 9) for i in range(9)],
+            name="two-cycles",
+        )
+        return [
+            generators.grid_graph([6, 7]),
+            generators.cycle_graph(24),  # even ring: antipodal tie nodes
+            generators.random_tree(40, seed=9),
+            generators.lollipop_graph(6, 20),
+            two_cycles,
+        ]
+
+    def test_matches_greedy_local_scan(self):
+        for g in self._portfolio():
+            oracle = DistanceOracle(g)
+            for target in range(0, g.num_nodes, max(1, g.num_nodes // 5)):
+                table = oracle.next_local_to(target)
+                expected = _brute_force_next_local(g, oracle.distances_to(target))
+                np.testing.assert_array_equal(table, expected)
+
+    def test_tree_fast_path_matches_argmin(self):
+        # On a connected tree the table is read off the BFS parent pointers;
+        # it must agree with the brute-force scan (the improving neighbour is
+        # unique there, so any tie-break coincides).
+        g = generators.random_tree(60, seed=3)
+        assert g.num_edges == g.num_nodes - 1
+        oracle = DistanceOracle(g)
+        table = oracle.next_local_to(17)
+        np.testing.assert_array_equal(
+            table, _brute_force_next_local(g, oracle.distances_to(17))
+        )
+        # The tree sweep also warmed the distance cache.
+        assert oracle.cache_size() == 1
+
+    def test_tree_edge_count_but_disconnected_falls_back(self):
+        # n-1 edges without connectivity (triangle + isolated node) must not
+        # trust the parent pointers blindly.
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2)], name="triangle+isolated")
+        assert g.num_edges == g.num_nodes - 1
+        oracle = DistanceOracle(g)
+        table = oracle.next_local_to(0)
+        np.testing.assert_array_equal(
+            table, _brute_force_next_local(g, oracle.distances_to(0))
+        )
+        assert table[3] == -1  # isolated node has no hop
+
+    def test_cached_and_read_only(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        a = oracle.next_local_to(5)
+        b = oracle.next_local_to(5)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = 0
+
+    def test_lru_cap_applies(self, cycle12):
+        oracle = DistanceOracle(cycle12, max_entries=2)
+        for t in range(5):
+            oracle.next_local_to(t)
+        assert len(oracle._next_local) <= 2
+
+    def test_clear_drops_tables(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        oracle.next_local_to(3)
+        oracle.clear()
+        assert len(oracle._next_local) == 0
+
+
+class TestDistancesToMany:
+    def test_block_matches_rows(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        targets = [3, 9, 3, 0]
+        block = oracle.distances_to_many(targets)
+        assert block.shape == (4, grid4x4.num_nodes)
+        for row, t in enumerate(targets):
+            np.testing.assert_array_equal(block[row], bfs_distances(grid4x4, t))
+
+    def test_block_is_writable_copy(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        block = oracle.distances_to_many([4])
+        block[0, 0] = -99  # must not corrupt the cached read-only row
+        assert oracle.distances_to(4)[0] == bfs_distances(cycle12, 4)[0]
+
+    def test_empty_targets(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        assert oracle.distances_to_many([]).shape == (0, cycle12.num_nodes)
+
+    def test_prefetch_batches_misses(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        oracle.distances_to_many([1, 2, 3])
+        misses_after = oracle.misses
+        oracle.distances_to_many([1, 2, 3])
+        assert oracle.misses == misses_after  # second call fully cached

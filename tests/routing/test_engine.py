@@ -1,0 +1,253 @@
+"""Lane-engine tests: trajectory identity, statistical parity, edge cases.
+
+The exact-equivalence contract of the lane engine is that, fed the same
+materialized contact table, it walks step-for-step the same routes as the
+scalar ``greedy_route`` reference — asserted here per lane for **every**
+registered scheme on every graph family (grid, ring, tree, disconnected).
+On the default lazy-sampling path the engines draw different random streams,
+so those tests are seeded statistical-parity checks instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ball_scheme import BallScheme
+from repro.core.base import NO_CONTACT
+from repro.core.kleinberg import DistancePowerScheme
+from repro.core.matrix import MatrixScheme, uniform_matrix
+from repro.core.matrix_label import Theorem2Scheme
+from repro.core.uniform import UniformScheme
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.graphs.oracle import DistanceOracle
+from repro.routing.engine import LaneBatchResult, materialize_contact_table, route_lanes
+from repro.routing.greedy import greedy_route
+from repro.routing.simulator import estimate_expected_steps
+
+SCHEME_NAMES = ["uniform", "ball", "theorem2", "kleinberg", "matrix"]
+FAMILY_NAMES = ["grid", "ring", "tree", "disconnected"]
+
+
+def _graph_for(family: str) -> Graph:
+    if family == "grid":
+        return generators.grid_graph([5, 5])
+    if family == "ring":
+        return generators.cycle_graph(24)
+    if family == "tree":
+        return generators.random_tree(26, seed=3)
+    if family == "disconnected":
+        edges = [(i, (i + 1) % 14) for i in range(14)]
+        edges += [(14 + i, 14 + (i + 1) % 9) for i in range(9)]
+        return Graph.from_edges(23, edges, name="two-cycles")
+    raise AssertionError(family)
+
+
+def _pairs_for(family: str, graph: Graph):
+    if family == "disconnected":
+        # Stay within components: 0..13 is one cycle, 14..22 the other.
+        return [(0, 7), (3, 10), (14, 18), (22, 16)]
+    n = graph.num_nodes
+    return [(0, n - 1), (1, n // 2), (n - 1, n // 3)]
+
+
+def _scheme_for(name: str, graph: Graph, oracle: DistanceOracle):
+    if name == "uniform":
+        return UniformScheme(graph, seed=11)
+    if name == "ball":
+        return BallScheme(graph, seed=11, oracle=oracle)
+    if name == "theorem2":
+        return Theorem2Scheme(graph, seed=11)
+    if name == "kleinberg":
+        return DistancePowerScheme(graph, 2.0, seed=11)
+    if name == "matrix":
+        return MatrixScheme(graph, uniform_matrix(graph.num_nodes), seed=11)
+    raise AssertionError(name)
+
+
+def _table_lookup(table: np.ndarray, lane: int):
+    def contact_of(u: int):
+        c = int(table[lane, u])
+        return None if c == NO_CONTACT else c
+
+    return contact_of
+
+
+class TestTrajectoryIdentity:
+    """Lane engine == scalar reference, lane by lane, under a shared table."""
+
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_lane_matches_scalar_reference(self, scheme_name, family):
+        graph = _graph_for(family)
+        oracle = DistanceOracle(graph)
+        scheme = _scheme_for(scheme_name, graph, oracle)
+        pairs = _pairs_for(family, graph)
+        trials = 5
+        table = materialize_contact_table(scheme, len(pairs) * trials, rng=99)
+        batch = route_lanes(
+            graph, scheme, pairs, trials=trials, seed=1, oracle=oracle, contact_table=table
+        )
+        for lane in range(len(pairs) * trials):
+            source, target = pairs[lane // trials]
+            result = greedy_route(
+                graph,
+                oracle.distances_to(target),
+                source,
+                target,
+                _table_lookup(table, lane),
+            )
+            assert bool(batch.success[lane]) == result.success
+            assert int(batch.steps[lane]) == result.steps
+            assert int(batch.long_links[lane]) == result.long_links_used
+
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_identity_survives_max_steps_budget(self, family):
+        graph = _graph_for(family)
+        oracle = DistanceOracle(graph)
+        scheme = UniformScheme(graph, seed=5)
+        pairs = _pairs_for(family, graph)
+        trials = 6
+        table = materialize_contact_table(scheme, len(pairs) * trials, rng=42)
+        for budget in (0, 1, 3):
+            batch = route_lanes(
+                graph,
+                scheme,
+                pairs,
+                trials=trials,
+                seed=1,
+                oracle=oracle,
+                contact_table=table,
+                max_steps=budget,
+            )
+            for lane in range(len(pairs) * trials):
+                source, target = pairs[lane // trials]
+                result = greedy_route(
+                    graph,
+                    oracle.distances_to(target),
+                    source,
+                    target,
+                    _table_lookup(table, lane),
+                    max_steps=budget,
+                )
+                assert bool(batch.success[lane]) == result.success
+                assert int(batch.steps[lane]) == result.steps
+                assert int(batch.long_links[lane]) == result.long_links_used
+
+
+class _NoLinksScheme(UniformScheme):
+    """No long-range links: greedy routing degenerates to shortest paths."""
+
+    def sample_contact(self, node, rng=None):
+        return None
+
+
+class TestStatisticalParity:
+    def test_deterministic_scheme_engines_agree_exactly(self, grid4x4):
+        scheme = _NoLinksScheme(grid4x4, seed=0)
+        pairs = [(0, 15), (3, 12)]
+        lane = estimate_expected_steps(grid4x4, scheme, pairs, trials=4, seed=7, engine="lane")
+        scalar = estimate_expected_steps(grid4x4, scheme, pairs, trials=4, seed=7, engine="scalar")
+        # Without randomness both engines must compute the exact same numbers.
+        assert lane.mean == scalar.mean
+        assert lane.diameter == scalar.diameter
+        for a, b in zip(lane.pairs, scalar.pairs):
+            assert a.stats.mean == b.stats.mean == a.graph_distance
+
+    def test_seeded_parity_on_ring(self):
+        # Different RNG streams, same distribution: with enough trials the
+        # two engines' means must be close (they estimate the same E(φ,s,t)).
+        g = generators.cycle_graph(96)
+        scheme = UniformScheme(g, seed=0)
+        pairs = [(0, 48)]
+        lane = estimate_expected_steps(g, scheme, pairs, trials=600, seed=5, engine="lane")
+        scalar = estimate_expected_steps(g, scheme, pairs, trials=600, seed=5, engine="scalar")
+        # Compare via overlapping 95% confidence intervals.
+        assert lane.pairs[0].stats.ci95_low <= scalar.pairs[0].stats.ci95_high
+        assert scalar.pairs[0].stats.ci95_low <= lane.pairs[0].stats.ci95_high
+
+    def test_lane_engine_deterministic_given_seed(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        a = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=8, seed=3, engine="lane")
+        b = estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=8, seed=3, engine="lane")
+        assert a.mean == b.mean
+        assert a.diameter == b.diameter
+
+    def test_failed_trials_accounting(self):
+        g = generators.cycle_graph(64)
+        scheme = UniformScheme(g, seed=0)
+        estimate = estimate_expected_steps(
+            g, scheme, [(0, 32)], trials=64, seed=5, max_steps=10, engine="lane"
+        )
+        pair = estimate.pairs[0]
+        assert estimate.failed_trials > 0
+        assert pair.stats.count + pair.failed_trials == 64
+        assert pair.stats.maximum <= 10
+
+
+class TestEngineEdgeCases:
+    def test_unknown_engine_rejected(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        with pytest.raises(ValueError, match="unknown engine"):
+            estimate_expected_steps(cycle12, scheme, [(0, 6)], trials=2, engine="warp")
+
+    def test_unreachable_pair_rejected(self):
+        graph = _graph_for("disconnected")
+        scheme = UniformScheme(graph, seed=0)
+        with pytest.raises(ValueError, match="not reachable"):
+            route_lanes(graph, scheme, [(0, 20)], trials=2, seed=1)
+
+    def test_empty_pairs_rejected(self, cycle12):
+        with pytest.raises(ValueError):
+            route_lanes(cycle12, UniformScheme(cycle12), [], trials=2)
+
+    def test_bad_contact_table_shape_rejected(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        with pytest.raises(ValueError, match="contact_table"):
+            route_lanes(
+                cycle12,
+                scheme,
+                [(0, 6)],
+                trials=2,
+                contact_table=np.zeros((3, cycle12.num_nodes), dtype=np.int64),
+            )
+
+    def test_foreign_scheme_and_oracle_rejected(self, cycle12, path8):
+        with pytest.raises(ValueError):
+            route_lanes(cycle12, UniformScheme(path8), [(0, 6)], trials=2)
+        with pytest.raises(ValueError):
+            route_lanes(
+                cycle12,
+                UniformScheme(cycle12),
+                [(0, 6)],
+                trials=2,
+                oracle=DistanceOracle(path8),
+            )
+
+    def test_all_trials_truncated_raises(self):
+        g = generators.path_graph(30)
+        scheme = _NoLinksScheme(g, seed=0)
+        with pytest.raises(ValueError, match="exceeded"):
+            estimate_expected_steps(
+                g, scheme, [(0, 29)], trials=4, seed=1, max_steps=3, engine="lane"
+            )
+
+    def test_batch_result_shape(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        batch = route_lanes(cycle12, scheme, [(0, 6), (1, 7)], trials=3, seed=2)
+        assert isinstance(batch, LaneBatchResult)
+        assert batch.num_lanes == 6
+        assert batch.trials == 3
+        np.testing.assert_array_equal(batch.pair_index, [0, 0, 0, 1, 1, 1])
+        assert batch.pair_lanes(1) == slice(3, 6)
+        assert np.all(batch.success)
+
+    def test_lane_results_shared_with_oracle_cache(self, cycle12):
+        # The engine must pull every distance row through the shared oracle.
+        oracle = DistanceOracle(cycle12)
+        scheme = UniformScheme(cycle12, seed=0)
+        estimate_expected_steps(
+            cycle12, scheme, [(0, 6), (3, 6), (1, 9)], trials=4, seed=1,
+            oracle=oracle, engine="lane",
+        )
+        assert oracle.cache_size() == 2  # targets {6, 9}
+        assert oracle.hits >= 1

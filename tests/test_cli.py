@@ -73,3 +73,28 @@ class TestCommands:
         assert main(args + ["--resume"]) == 0
         second = capsys.readouterr().out
         assert second == first
+
+
+class TestEngineFlag:
+    def test_route_engine_choices(self):
+        args = build_parser().parse_args(["route", "ring", "--engine", "scalar"])
+        assert args.engine == "scalar"
+        args = build_parser().parse_args(["route", "ring"])
+        assert args.engine == "lane"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "ring", "--engine", "warp"])
+
+    def test_route_command_scalar_engine(self, capsys):
+        code = main(
+            ["route", "ring", "--size", "48", "--pairs", "2", "--trials", "2",
+             "--schemes", "uniform", "--engine", "scalar"]
+        )
+        assert code == 0
+        assert "uniform" in capsys.readouterr().out
+
+    def test_experiment_engine_reaches_config(self, capsys):
+        code = main(
+            ["experiment", "--only", "EXP-1", "--quick", "--markdown", "--engine", "scalar"]
+        )
+        assert code == 0
+        assert "EXP-1" in capsys.readouterr().out
