@@ -90,7 +90,7 @@ def _measure_engine(graph, pairs, engine: str):
     return timings[0], timings[1]
 
 
-def _append_record(results) -> None:
+def _append_record(results, benchmark: str = "routing_engine", config: dict = None) -> None:
     data = {"schema_version": 1, "runs": []}
     if _RESULTS_PATH.exists():
         try:
@@ -102,8 +102,11 @@ def _append_record(results) -> None:
     data["runs"].append(
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "benchmark": benchmark,
             "mode": "full" if _full_mode() else "smoke",
-            "config": {"num_pairs": _NUM_PAIRS, "trials": _TRIALS, "scheme": "uniform"},
+            "config": config
+            if config is not None
+            else {"num_pairs": _NUM_PAIRS, "trials": _TRIALS, "scheme": "uniform"},
             "results": results,
         }
     )
@@ -175,3 +178,97 @@ def test_lane_engine_speedup():
         biggest = results[-1]
         assert biggest["n"] >= 50_000
         assert biggest["speedup"] >= 10.0, results
+
+
+def test_next_local_many_speedup():
+    """Batched multi-target hop-table builder vs the per-target loop.
+
+    Measures building the ``num_pairs``-target ``next_local`` block on grids
+    under both APIs, starting from oracles whose *distance* rows are already
+    warm — the exact state ``routing_blocks`` sees after the pair sampler has
+    run, and the state the per-target loop historically ran in (its argmin
+    pass reused ``distances_to_many`` blocks).  Cold (fresh-oracle) timings
+    are recorded alongside for transparency: there the batched call also
+    swallows one batched BFS where the loop pays ``k`` single sweeps.
+
+    Exact equality of the tables is asserted here as well — a speedup from a
+    wrong table would be worthless.
+    """
+    import numpy as np
+
+    sides = _FULL_SIDES if _full_mode() else _SMOKE_SIDES
+    results = []
+    for side in sides:
+        graph = generators.grid_graph([side, side])
+        n = graph.num_nodes
+        targets = sorted({t for (_, t) in _pairs(n)})
+
+        def _warm_oracle():
+            oracle = DistanceOracle(graph)
+            oracle.prefetch(targets)
+            oracle.distances_to_many(targets)
+            return oracle
+
+        # Best-of-3 on fresh warm oracles: the build is memoised, so each
+        # repetition needs its own oracle, and min() sheds allocator noise.
+        loop_warm = float("inf")
+        loop_tables = None
+        for _ in range(3):
+            oracle = _warm_oracle()
+            t0 = time.perf_counter()
+            tables = [oracle.next_local_to(t) for t in targets]
+            loop_warm = min(loop_warm, time.perf_counter() - t0)
+            loop_tables = tables
+        many_warm = float("inf")
+        many_block = None
+        for _ in range(3):
+            oracle = _warm_oracle()
+            t0 = time.perf_counter()
+            block = oracle.next_local_to_many(targets)
+            many_warm = min(many_warm, time.perf_counter() - t0)
+            many_block = block
+
+        for row, table in enumerate(loop_tables):
+            assert np.array_equal(many_block[row], table), f"table mismatch at n={n}"
+
+        t0 = time.perf_counter()
+        cold_loop_oracle = DistanceOracle(graph)
+        for t in targets:
+            cold_loop_oracle.next_local_to(t)
+        loop_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        DistanceOracle(graph).next_local_to_many(targets)
+        many_cold = time.perf_counter() - t0
+
+        speedup = loop_warm / many_warm if many_warm > 0 else float("inf")
+        results.append(
+            {
+                "n": n,
+                "grid": [side, side],
+                "targets": len(targets),
+                "loop_seconds": round(loop_warm, 4),
+                "many_seconds": round(many_warm, 4),
+                "speedup": round(speedup, 2),
+                "loop_cold_seconds": round(loop_cold, 4),
+                "many_cold_seconds": round(many_cold, 4),
+                "cold_speedup": round(
+                    loop_cold / many_cold if many_cold > 0 else float("inf"), 2
+                ),
+            }
+        )
+        print(
+            f"\nnext_local builders at n={n} ({len(targets)} targets): "
+            f"loop {loop_warm*1000:.2f}ms, batched {many_warm*1000:.2f}ms, "
+            f"speedup {speedup:.2f}x (cold {loop_cold*1000:.1f}ms vs {many_cold*1000:.1f}ms)"
+        )
+    _append_record(
+        results,
+        benchmark="next_local_many",
+        config={"targets": "distinct pair targets", "scheme": "n/a"},
+    )
+    # Smoke gate (2k grid): the batched builder must be decisively faster.
+    assert results[0]["speedup"] >= 1.8, results
+    if _full_mode():
+        biggest = results[-1]
+        assert biggest["n"] >= 50_000
+        assert biggest["speedup"] >= 1.5, results

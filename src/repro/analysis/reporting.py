@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import json
 import os
-import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.analysis.scaling import PowerLawFit, fit_power_law
 from repro.analysis.tables import format_markdown_table, format_table
+from repro.utils.text import slugify
 
 __all__ = [
     "SeriesResult",
@@ -155,14 +155,16 @@ class ExperimentResult:
 # --------------------------------------------------------------------------- #
 
 #: Bump when the artifact layout changes; loaders reject newer/older versions.
-ARTIFACT_SCHEMA_VERSION = 1
+#: Version 2: cell payloads record the per-instance seed and the graph's CSR
+#: content fingerprint (GraphStore era), and graph generation / pair sampling
+#: are instance-seeded rather than cell-seeded — version-1 artifacts measured
+#: different pair sets, so resuming onto them would silently mix statistics.
+ARTIFACT_SCHEMA_VERSION = 2
 
 
-def _slugify(text: str) -> str:
-    """Filesystem-safe slug for artifact filenames (family names may contain
-    ``/``, ``=``, spaces, …)."""
-    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")
-    return slug or "x"
+#: Filesystem-safe slug for artifact filenames — shared with the GraphStore's
+#: spill filenames so the two naming schemes cannot drift apart.
+_slugify = slugify
 
 
 @dataclass

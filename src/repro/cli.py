@@ -7,7 +7,9 @@ Four subcommands cover the library's day-to-day uses without writing Python:
 * ``repro route``      — estimate the greedy diameter of a (graph, scheme) pair,
 * ``repro experiment`` — run one or all of the paper's experiments
   (``--jobs`` fans the sweep's cells out over processes, ``--out`` persists
-  per-cell JSON artifacts, ``--resume`` skips already-computed cells).
+  per-cell JSON artifacts, ``--resume`` skips already-computed cells,
+  ``--graph-cache`` spills the GraphStore's BFS arrays so graph instances
+  are shared across workers and runs, ``--stats`` reports its hit rates).
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -139,6 +141,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             artifacts_dir=args.out,
             resume=args.resume,
+            graph_cache=args.graph_cache,
             stats=stats,
         )
     except ValueError as exc:
@@ -154,6 +157,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if args.out:
             note += f"; artifacts in {args.out}"
         print(note)
+    if args.stats:
+        # Cache-hit counters go to stderr so --markdown output stays a clean
+        # report.  With --jobs the serial-path store sits idle (workers keep
+        # their own); the spill files under --graph-cache are the evidence.
+        store = stats.get("store", {})
+        print(
+            "graph store: "
+            f"{store.get('graph_builds', 0)} build(s), "
+            f"{store.get('graph_hits', 0)} hit(s), "
+            f"{store.get('bfs_misses', 0)} BFS run, "
+            f"{store.get('bfs_hits', 0)} BFS served from cache, "
+            f"{store.get('bfs_preloaded', 0)} BFS loaded from spill; "
+            f"spill: {store.get('spill_saves', 0)} saved, "
+            f"{store.get('spill_loads', 0)} loaded, "
+            f"{store.get('spill_rejected', 0)} rejected",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -217,6 +237,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip cells whose artifact already exists in --out (same config only)",
+    )
+    p_exp.add_argument(
+        "--graph-cache",
+        help=(
+            "directory for the GraphStore's fingerprint-checked .npz BFS spill "
+            "(shares graph instances across --jobs workers and across runs)"
+        ),
+    )
+    p_exp.add_argument(
+        "--stats",
+        action="store_true",
+        help="print GraphStore cache-hit statistics to stderr after the sweep",
     )
     p_exp.add_argument(
         "--engine",

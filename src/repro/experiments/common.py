@@ -17,16 +17,21 @@ every scheme the experiment measures on it.  Each exp module exposes
 
 Within a cell every scheme shares a single :class:`DistanceOracle`, so the
 BFS array computed for a routing target under the first scheme is a cache hit
-for every other scheme (the pair samplers are seeded per cell, hence identical
-across schemes).  This is the redundancy the oracle exists to eliminate:
-before the cell refactor each ``estimate_greedy_diameter`` call built a
-private oracle and every scheme re-ran the same BFS sweeps from scratch.
+for every other scheme.  *Across* cells — and across whole experiments — the
+same pooling runs through the :class:`~repro.graphs.store.GraphStore`: graph
+generation and pair sampling are seeded **per instance**
+(:func:`derive_instance_seed`, a function of ``(master_seed, family, n)``
+only), while schemes and Monte-Carlo trials stay seeded **per cell**
+(:func:`derive_cell_seed`, which folds in the experiment id).  Two
+experiments sweeping the same ``(family, n)`` therefore measure the *same
+graph over the same pairs* with decorrelated randomness — so the second
+experiment's BFS sweeps are all store-served cache hits — exactly the
+cross-experiment redundancy the store exists to eliminate.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import SeriesResult
@@ -35,6 +40,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import DistanceOracle
+from repro.graphs.store import GraphStore, StoreEntry
 from repro.routing.simulator import (
     RoutingEstimate,
     estimate_expected_steps,
@@ -49,6 +55,9 @@ __all__ = [
     "GraphInstance",
     "SweepCache",
     "derive_cell_seed",
+    "derive_instance_seed",
+    "ensure_store",
+    "cell_payload",
     "make_oracle",
     "route_point",
     "scaling_cell",
@@ -74,9 +83,27 @@ def derive_cell_seed(master_seed: int, experiment_id: str, family: str, n: int) 
 
     The seed depends only on ``(master_seed, experiment_id, family, n)`` so a
     cell computes identical numbers whether it runs serially, in a process
-    pool, or alone during a ``--resume`` backfill.
+    pool, or alone during a ``--resume`` backfill.  It drives the *random*
+    parts of a cell — scheme construction and Monte-Carlo trials; graph
+    generation and pair sampling use :func:`derive_instance_seed` instead so
+    they are shared across experiments.
     """
     key = f"{master_seed}:{experiment_id}:{family}:{n}".encode()
+    return int.from_bytes(hashlib.sha256(key).digest()[:4], "big") & 0x7FFFFFFF
+
+
+def derive_instance_seed(master_seed: int, family: str, n: int) -> int:
+    """Deterministic per-*instance* seed: no experiment id in the key.
+
+    Graph generation and pair sampling are seeded with this value, so every
+    experiment sweeping ``(family, n)`` under one master seed builds the
+    *identical* graph and routes the *identical* pair set — which is what
+    lets the :class:`~repro.graphs.store.GraphStore` serve the second and
+    later experiments entirely from cache (zero graph builds, zero repeat
+    BFS).  The constant ``"instance"`` tag keeps the key-space disjoint from
+    :func:`derive_cell_seed`'s ``EXP-*`` experiment ids.
+    """
+    key = f"{master_seed}:instance:{family}:{n}".encode()
     return int.from_bytes(hashlib.sha256(key).digest()[:4], "big") & 0x7FFFFFFF
 
 
@@ -86,49 +113,56 @@ def make_oracle(oracle_factory: Optional[OracleFactory], graph: Graph) -> Distan
     return factory(graph)
 
 
-@dataclass
-class GraphInstance:
-    """One generated graph plus the oracle shared by everything measured on it."""
+def ensure_store(
+    store: Optional[GraphStore], oracle_factory: Optional[OracleFactory] = None
+) -> GraphStore:
+    """Return *store*, or a private single-cell :class:`GraphStore`.
 
-    family: str
-    requested_n: int
-    seed: int
-    graph: Graph
-    oracle: DistanceOracle
+    Experiment ``run_cell`` functions accept an optional shared store (the
+    sweep executor threads one through the whole run); standalone calls fall
+    back to a fresh private store, which reproduces the historical
+    one-graph-one-oracle-per-cell behaviour exactly.
+    """
+    if store is not None:
+        return store
+    return GraphStore(oracle_factory=oracle_factory)
+
+
+#: Kept as the public name of the store's entry type: experiment code reads
+#: ``instance.graph`` / ``instance.oracle`` off it.
+GraphInstance = StoreEntry
 
 
 class SweepCache:
-    """Cache of :class:`GraphInstance` keyed ``(family, n)``.
+    """Thin adapter presenting a :class:`GraphStore` under the legacy API.
 
     Shared between successive :func:`measure_scaling` calls (one per scheme)
     so every scheme of an experiment sees the *same* graph instance and pools
-    BFS arrays through the same oracle.
+    BFS arrays through the same oracle.  New code should use a
+    :class:`~repro.graphs.store.GraphStore` directly; this wrapper remains
+    because ``measure_scaling`` predates the store.
     """
 
-    def __init__(self, *, oracle_factory: Optional[OracleFactory] = None) -> None:
-        self._oracle_factory = oracle_factory
-        self._instances: Dict[Tuple[str, int], GraphInstance] = {}
+    def __init__(
+        self,
+        *,
+        oracle_factory: Optional[OracleFactory] = None,
+        store: Optional[GraphStore] = None,
+    ) -> None:
+        self._store = store if store is not None else GraphStore(oracle_factory=oracle_factory)
+
+    @property
+    def store(self) -> GraphStore:
+        return self._store
 
     def __len__(self) -> int:
-        return len(self._instances)
+        return len(self._store)
 
     def instance(
         self, family: str, n: int, seed: int, graph_factory: GraphFactory
     ) -> GraphInstance:
-        """Return the cached instance for ``(family, n)``, generating on miss."""
-        key = (family, n)
-        inst = self._instances.get(key)
-        if inst is None:
-            graph = graph_factory(n, seed)
-            inst = GraphInstance(
-                family=family,
-                requested_n=n,
-                seed=seed,
-                graph=graph,
-                oracle=make_oracle(self._oracle_factory, graph),
-            )
-            self._instances[key] = inst
-        return inst
+        """Return the cached instance for ``(family, n, seed)``, generating on miss."""
+        return self._store.instance(family, n, seed, graph_factory)
 
 
 def standard_graph_families() -> Dict[str, GraphFactory]:
@@ -159,15 +193,19 @@ def route_point(
     seed: int,
     oracle: DistanceOracle,
     pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    pair_seed: Optional[int] = None,
 ) -> Dict[str, object]:
     """Route one (graph, scheme) measurement point; returns a JSON-safe dict.
 
     With ``pairs`` the expected steps over exactly those pairs are estimated
     (the lower-bound experiments route the proofs' hard pairs); without, the
-    config's pair strategy samples diameter-biased pairs.  Either way the
-    shared *oracle* serves every distance array (and, under the default lane
-    engine, the precomputed per-target ``next_local`` hop tables), and
-    ``config.engine`` selects the Monte-Carlo engine.
+    config's pair strategy samples diameter-biased pairs — from ``pair_seed``
+    when given (the per-*instance* seed, so every scheme and every experiment
+    measured on one graph instance routes the identical pair set and reuses
+    its BFS arrays).  Either way the shared *oracle* serves every distance
+    array (and, under the default lane engine, the precomputed per-target
+    ``next_local`` hop tables), and ``config.engine`` selects the Monte-Carlo
+    engine.
     """
     if pairs is not None:
         estimate: RoutingEstimate = estimate_expected_steps(
@@ -189,6 +227,7 @@ def route_point(
             pair_strategy=config.pair_strategy,
             oracle=oracle,
             engine=config.engine,
+            pair_seed=pair_seed,
         )
     return {
         "n": int(graph.num_nodes),
@@ -196,6 +235,33 @@ def route_point(
         "mean": float(estimate.mean),
         "long_link_fraction": float(estimate.long_link_fraction),
         "failed_trials": int(estimate.failed_trials),
+    }
+
+
+def cell_payload(
+    entry: GraphInstance,
+    cell_seed: int,
+    series: Dict[str, Dict[str, object]],
+    *,
+    family: Optional[str] = None,
+) -> CellPayload:
+    """Assemble the JSON-safe payload of one computed cell.
+
+    Besides the measured ``series``, the payload records the cell seed, the
+    instance seed the graph/pairs were derived from and the graph's CSR
+    content fingerprint — so a persisted artifact pins down *exactly* which
+    instance it measured (the same fingerprint guards the GraphStore's disk
+    spill round-trip).  *family* overrides the payload's family for
+    experiments whose cell families are series names (``"eps=0.5"``) sharing
+    one canonical store instance (``"path"``).
+    """
+    return {
+        "family": entry.family if family is None else str(family),
+        "requested_n": int(entry.requested_n),
+        "seed": int(cell_seed),
+        "instance_seed": int(entry.seed),
+        "graph_fingerprint": entry.fingerprint,
+        "series": series,
     }
 
 
@@ -208,25 +274,31 @@ def scaling_cell(
     config: ExperimentConfig,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
     """Compute one standard scaling cell: every scheme on one graph instance.
 
-    The returned payload is JSON-serializable::
-
-        {"family": ..., "requested_n": ..., "seed": ...,
-         "series": {series_name: route_point(...), ...}}
-
-    All schemes share one oracle, so with a deterministic per-cell seed the
-    second and later schemes hit the cached BFS arrays of the first.
+    The returned payload is JSON-serializable (see :func:`cell_payload`).
+    The graph instance and its oracle come from *store* — the sweep executor
+    passes one store across the whole run, so a ``(family, n)`` instance
+    already measured by an earlier experiment is reused outright: no graph
+    build, and (pairs being instance-seeded) no repeat BFS.  All schemes of
+    the cell share the instance's oracle, so the second and later schemes hit
+    the cached BFS arrays of the first.
     """
-    seed = derive_cell_seed(config.seed, experiment_id, family, n)
-    graph = graph_factory(n, seed)
-    oracle = make_oracle(oracle_factory, graph)
+    cell_seed = derive_cell_seed(config.seed, experiment_id, family, n)
+    instance_seed = derive_instance_seed(config.seed, family, n)
+    entry = ensure_store(store, oracle_factory).instance(
+        family, n, instance_seed, graph_factory
+    )
+    graph, oracle = entry.graph, entry.oracle
     series: Dict[str, Dict[str, object]] = {}
     for series_name, factory in scheme_factories.items():
-        scheme = factory(graph, seed, oracle)
-        series[series_name] = route_point(graph, scheme, config, seed=seed, oracle=oracle)
-    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": series}
+        scheme = factory(graph, cell_seed, oracle)
+        series[series_name] = route_point(
+            graph, scheme, config, seed=cell_seed, oracle=oracle, pair_seed=instance_seed
+        )
+    return cell_payload(entry, cell_seed, series)
 
 
 def collect_series(
@@ -256,15 +328,27 @@ def collect_series(
     return series
 
 
-def run_experiment(module, config: Optional[ExperimentConfig] = None, *, oracle_factory=None):
+def run_experiment(
+    module,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    oracle_factory=None,
+    store: Optional[GraphStore] = None,
+):
     """Default ``run()`` implementation: compute every cell locally, assemble.
 
     *module* is an experiment module following the cell protocol documented in
-    the module docstring above.
+    the module docstring above.  One :class:`GraphStore` is shared across the
+    experiment's cells (cells of one experiment never repeat a ``(family, n)``
+    instance, but a caller-supplied *store* lets several ``run()`` calls pool
+    instances the way the sweep executor does).
     """
     config = config or ExperimentConfig.full()
+    store = ensure_store(store, oracle_factory)
     cells = {
-        (family, n): module.run_cell(config, family, n, oracle_factory=oracle_factory)
+        (family, n): module.run_cell(
+            config, family, n, oracle_factory=oracle_factory, store=store
+        )
         for family, n in module.cell_keys(config)
     }
     return module.assemble(config, cells)
@@ -307,10 +391,18 @@ def measure_scaling(
     cache = cache if cache is not None else SweepCache()
     series = SeriesResult(name=series_name or family_name)
     for n in config.effective_sizes():
-        seed = derive_cell_seed(config.seed, experiment_id, family_name, n)
-        inst = cache.instance(family_name, n, seed, graph_factory)
-        scheme = scheme_factory(inst.graph, seed, inst.oracle)
-        point = route_point(inst.graph, scheme, config, seed=seed, oracle=inst.oracle)
+        cell_seed = derive_cell_seed(config.seed, experiment_id, family_name, n)
+        instance_seed = derive_instance_seed(config.seed, family_name, n)
+        inst = cache.instance(family_name, n, instance_seed, graph_factory)
+        scheme = scheme_factory(inst.graph, cell_seed, inst.oracle)
+        point = route_point(
+            inst.graph,
+            scheme,
+            config,
+            seed=cell_seed,
+            oracle=inst.oracle,
+            pair_seed=instance_seed,
+        )
         series.add(point["n"], point["value"] if quantity == "diameter" else point["mean"])
         series.metadata[f"long_link_fraction_n{point['n']}"] = point["long_link_fraction"]
     return series

@@ -55,6 +55,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
+from repro.graphs.store import GraphStore
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
@@ -97,8 +98,14 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
-    """Route all four level-mixture variants on one shared ring instance."""
+    """Route all four level-mixture variants on one shared ring instance.
+
+    The ring instance comes from the sweep-wide *store*: it is the same
+    ``("ring", n)`` instance the other experiments sweep, so its BFS arrays
+    are usually already warm when this ablation runs.
+    """
     return scaling_cell(
         EXPERIMENT_ID,
         family,
@@ -116,6 +123,7 @@ def run_cell(
         },
         config,
         oracle_factory=oracle_factory,
+        store=store,
     )
 
 

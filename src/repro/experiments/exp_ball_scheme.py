@@ -43,6 +43,7 @@ from repro.experiments.common import (
     standard_graph_families,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.graphs.store import GraphStore
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
@@ -73,8 +74,13 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
-    """Route the ball and uniform schemes on one shared (family, n) instance."""
+    """Route the ball and uniform schemes on one shared (family, n) instance.
+
+    *store* is the sweep-wide :class:`GraphStore`: the instance (and every
+    BFS array another experiment already computed on it) is reused outright.
+    """
     factory = standard_graph_families()[family]
     return scaling_cell(
         EXPERIMENT_ID,
@@ -89,6 +95,7 @@ def run_cell(
         },
         config,
         oracle_factory=oracle_factory,
+        store=store,
     )
 
 

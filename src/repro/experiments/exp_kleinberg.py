@@ -40,13 +40,16 @@ from repro.core.kleinberg import DistancePowerScheme
 from repro.experiments.common import (
     CellPayload,
     OracleFactory,
+    cell_payload,
     derive_cell_seed,
-    make_oracle,
+    derive_instance_seed,
+    ensure_store,
     route_point,
     run_experiment,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
+from repro.graphs.store import GraphStore
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
@@ -68,8 +71,10 @@ _CRITICAL_SERIES = "size sweep / critical r=2"
 _UNIFORMISH_SERIES = "size sweep / r=0 (uniform-like)"
 
 
-def _torus(n: int):
-    side = max(4, int(round(n ** 0.5)))
+def _torus(n: int, seed: int = 0):
+    """The canonical ~n-node torus — the same construction as the standard
+    ``torus2d`` family, so the store instance is shared with EXP-1/EXP-6."""
+    side = max(3, int(round(n ** 0.5)))
     return generators.torus_graph([side, side])
 
 
@@ -85,27 +90,44 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
-    """Compute the sensitivity sweep or one size-sweep point on a shared torus."""
+    """Compute the sensitivity sweep or one size-sweep point on a shared torus.
+
+    The torus comes from the sweep-wide *store* under the canonical
+    ``"torus2d"`` key, and the pair set is instance-seeded — so all thirteen
+    sensitivity exponents, both size-sweep series and every *other*
+    experiment's torus cell route the same pairs over one warmed oracle.
+    """
     seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
-    graph = _torus(n)
-    oracle = make_oracle(oracle_factory, graph)
+    instance_seed = derive_instance_seed(config.seed, "torus2d", n)
+    entry = ensure_store(store, oracle_factory).instance(
+        "torus2d", n, instance_seed, _torus
+    )
+    graph, oracle = entry.graph, entry.oracle
     if family == SENSITIVITY_FAMILY:
         points: Dict[str, Dict[str, object]] = {}
         for r in EXPONENTS:
             scheme = DistancePowerScheme(graph, r, seed=seed)
             points[f"{r:g}"] = route_point(
-                graph, scheme, config, seed=seed + int(10 * r), oracle=oracle
+                graph,
+                scheme,
+                config,
+                seed=seed + int(10 * r),
+                oracle=oracle,
+                pair_seed=instance_seed,
             )
         series = {SENSITIVITY_FAMILY: {"n": int(graph.num_nodes), "points": points}}
     elif family == SIZE_SWEEP_FAMILY:
         series = {}
         for r, series_name in ((2.0, _CRITICAL_SERIES), (0.0, _UNIFORMISH_SERIES)):
             scheme = DistancePowerScheme(graph, r, seed=seed)
-            series[series_name] = route_point(graph, scheme, config, seed=seed, oracle=oracle)
+            series[series_name] = route_point(
+                graph, scheme, config, seed=seed, oracle=oracle, pair_seed=instance_seed
+            )
     else:
         raise KeyError(f"unknown EXP-7 family {family!r}")
-    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": series}
+    return cell_payload(entry, seed, series, family=family)
 
 
 def assemble(

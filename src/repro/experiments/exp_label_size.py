@@ -48,12 +48,15 @@ from repro.core.matrix import MatrixScheme, harmonic_label_matrix
 from repro.experiments.common import (
     CellPayload,
     OracleFactory,
+    cell_payload,
     derive_cell_seed,
-    make_oracle,
+    derive_instance_seed,
+    ensure_store,
     route_point,
     run_experiment,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.graphs.store import GraphStore
 from repro.graphs import generators
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
@@ -101,12 +104,24 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
-    """Route the harmonic matrix at one (label budget, n) on the hard pair."""
+    """Route the harmonic matrix at one (label budget, n) on the hard pair.
+
+    Every ε-series measures the *same* path graph, so all of this
+    experiment's cells at one ``n`` — and the other path-sweeping
+    experiments — share one canonical ``"path"`` instance in the sweep-wide
+    *store*.
+    """
     seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
+    entry = ensure_store(store, oracle_factory).instance(
+        "path",
+        n,
+        derive_instance_seed(config.seed, "path", n),
+        lambda size, _seed: generators.path_graph(size),
+    )
+    graph, oracle = entry.graph, entry.oracle
     eps = _epsilon_of(family)
-    graph = generators.path_graph(n)
-    oracle = make_oracle(oracle_factory, graph)
     if eps is None:
         num_labels = n
         matrix = harmonic_label_matrix(n, exponent=1.0)
@@ -121,7 +136,7 @@ def run_cell(
         graph, scheme, config, seed=seed, oracle=oracle, pairs=[(s, t), (t, s)]
     )
     point["num_labels"] = int(num_labels)
-    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": {family: point}}
+    return cell_payload(entry, seed, {family: point}, family=family)
 
 
 def assemble(

@@ -49,14 +49,17 @@ from repro.experiments.common import (
     CellPayload,
     GraphFactory,
     OracleFactory,
+    cell_payload,
     collect_series,
     derive_cell_seed,
-    make_oracle,
+    derive_instance_seed,
+    ensure_store,
     route_point,
     run_experiment,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
+from repro.graphs.store import GraphStore
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
@@ -96,29 +99,38 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
     """Route the three scheme variants on one shared (family, n) instance.
 
-    The path decomposition is estimated once per cell and handed to both
-    Theorem-2 variants (it depends only on the graph, not on the mixture).
+    The path decomposition depends only on the graph, so it is memoised as an
+    instance *extra* on the sweep-wide *store*: both Theorem-2 variants — and
+    any later experiment over the same instance — reuse one estimate.
     """
-    seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
-    graph = _families()[family](n, seed)
-    oracle = make_oracle(oracle_factory, graph)
-    decomposition = estimate_pathshape(graph).decomposition
+    cell_seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
+    instance_seed = derive_instance_seed(config.seed, family, n)
+    entry = ensure_store(store, oracle_factory).instance(
+        family, n, instance_seed, _families()[family]
+    )
+    graph, oracle = entry.graph, entry.oracle
+    decomposition = entry.extra(
+        "pathshape_decomposition", lambda: estimate_pathshape(graph).decomposition
+    )
     schemes = [
-        (f"theorem2/{family}", Theorem2Scheme(graph, decomposition, seed=seed)),
+        (f"theorem2/{family}", Theorem2Scheme(graph, decomposition, seed=cell_seed)),
         (
             f"ancestor_only/{family}",
-            Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=seed),
+            Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=cell_seed),
         ),
-        (f"uniform/{family}", UniformScheme(graph, seed=seed)),
+        (f"uniform/{family}", UniformScheme(graph, seed=cell_seed)),
     ]
     series = {
-        name: route_point(graph, scheme, config, seed=seed, oracle=oracle)
+        name: route_point(
+            graph, scheme, config, seed=cell_seed, oracle=oracle, pair_seed=instance_seed
+        )
         for name, scheme in schemes
     }
-    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": series}
+    return cell_payload(entry, cell_seed, series)
 
 
 def assemble(

@@ -51,13 +51,16 @@ from repro.core.matrix import (
 from repro.experiments.common import (
     CellPayload,
     OracleFactory,
+    cell_payload,
     derive_cell_seed,
-    make_oracle,
+    derive_instance_seed,
+    ensure_store,
     route_point,
     run_experiment,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
+from repro.graphs.store import GraphStore
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
@@ -94,11 +97,22 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
-    """Route one matrix under the adversarial and identity labelings."""
+    """Route one matrix under the adversarial and identity labelings.
+
+    Every candidate matrix measures the *same* path graph, so all cells at
+    one ``n`` (and the other path-sweeping experiments) share one canonical
+    ``"path"`` instance in the sweep-wide *store*.
+    """
     seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
-    graph = generators.path_graph(n)
-    oracle = make_oracle(oracle_factory, graph)
+    entry = ensure_store(store, oracle_factory).instance(
+        "path",
+        n,
+        derive_instance_seed(config.seed, "path", n),
+        lambda size, _seed: generators.path_graph(size),
+    )
+    graph, oracle = entry.graph, entry.oracle
     matrix = _candidate_matrices()[family](n)
     # Adversarial labeling + the proof's hard (s, t) pair.
     instance = adversarial_path_labeling(matrix, n, seed=seed)
@@ -111,15 +125,15 @@ def run_cell(
     # Favourable identity labeling, same hard pair positions, for contrast.
     friendly = MatrixScheme(graph, matrix, labels=None, seed=seed)
     friendly_point = route_point(graph, friendly, config, seed=seed, oracle=oracle, pairs=pairs)
-    return {
-        "family": family,
-        "requested_n": int(n),
-        "seed": int(seed),
-        "series": {
+    return cell_payload(
+        entry,
+        seed,
+        {
             f"adversarial/{family}": adversarial_point,
             f"identity/{family}": friendly_point,
         },
-    }
+        family=family,
+    )
 
 
 def assemble(

@@ -50,15 +50,18 @@ from repro.decomposition.exact import path_decomposition_of_interval_graph
 from repro.experiments.common import (
     CellPayload,
     OracleFactory,
+    cell_payload,
     collect_series,
     derive_cell_seed,
-    make_oracle,
+    derive_instance_seed,
+    ensure_store,
     route_point,
     run_experiment,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
 from repro.graphs.graph import Graph
+from repro.graphs.store import GraphStore
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
@@ -69,20 +72,25 @@ PAPER_CLAIM = (
     "O(log^2 n) on AT-free graphs (Corollary 1)."
 )
 
-InstanceFactory = Callable[[int, int], Tuple[Graph, object]]
+InstanceFactory = Callable[[int, int], object]
 
 
-def _interval_instance(n: int, seed: int) -> Tuple[Graph, object]:
-    """Connected random interval graph plus its exact clique-path decomposition."""
+def _interval_instance(n: int, seed: int) -> Tuple[Graph, Dict[str, object]]:
+    """Connected random interval graph plus its exact clique-path decomposition.
+
+    The decomposition rides along as an instance *extra*, so the GraphStore
+    memoises it with the graph: every scheme (and every later experiment run
+    over the same instance) reuses the one exact decomposition.
+    """
     graph, intervals = generators.random_interval_graph(n, seed=seed, length_scale=3.0)
     decomposition = path_decomposition_of_interval_graph(intervals)
-    return graph, decomposition
+    return graph, {"decomposition": decomposition}
 
 
 def _tree_instances() -> Dict[str, InstanceFactory]:
     return {
-        "tree/caterpillar": lambda n, seed: (generators.caterpillar_graph(max(2, n // 2), 1), None),
-        "tree/spider": lambda n, seed: (generators.spider_graph(4, max(1, (n - 1) // 4)), None),
+        "tree/caterpillar": lambda n, seed: generators.caterpillar_graph(max(2, n // 2), 1),
+        "tree/spider": lambda n, seed: generators.spider_graph(4, max(1, (n - 1) // 4)),
         "atfree/interval": _interval_instance,
     }
 
@@ -102,24 +110,35 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
-    """Route the three scheme variants on one shared instance + decomposition."""
-    seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
-    graph, decomposition = _tree_instances()[family](n, seed)
-    oracle = make_oracle(oracle_factory, graph)
+    """Route the three scheme variants on one shared instance + decomposition.
+
+    The instance (graph, oracle and — for the interval family — the exact
+    clique-path decomposition) comes from the sweep-wide *store*.
+    """
+    cell_seed = derive_cell_seed(config.seed, EXPERIMENT_ID, family, n)
+    instance_seed = derive_instance_seed(config.seed, family, n)
+    entry = ensure_store(store, oracle_factory).instance(
+        family, n, instance_seed, _tree_instances()[family]
+    )
+    graph, oracle = entry.graph, entry.oracle
+    decomposition = entry.extras.get("decomposition")
     schemes = [
         (
             f"ancestor_only/{family}",
-            Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=seed),
+            Theorem2Scheme(graph, decomposition, uniform_mixture=0.0, seed=cell_seed),
         ),
-        (f"theorem2/{family}", Theorem2Scheme(graph, decomposition, seed=seed)),
-        (f"uniform/{family}", UniformScheme(graph, seed=seed)),
+        (f"theorem2/{family}", Theorem2Scheme(graph, decomposition, seed=cell_seed)),
+        (f"uniform/{family}", UniformScheme(graph, seed=cell_seed)),
     ]
     series = {
-        name: route_point(graph, scheme, config, seed=seed, oracle=oracle)
+        name: route_point(
+            graph, scheme, config, seed=cell_seed, oracle=oracle, pair_seed=instance_seed
+        )
         for name, scheme in schemes
     }
-    return {"family": family, "requested_n": int(n), "seed": int(seed), "series": series}
+    return cell_payload(entry, cell_seed, series)
 
 
 def assemble(

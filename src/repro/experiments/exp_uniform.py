@@ -39,6 +39,7 @@ from repro.experiments.common import (
     standard_graph_families,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.graphs.store import GraphStore
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_CLAIM", "cell_keys", "run_cell", "assemble", "run", "main"]
 
@@ -65,8 +66,14 @@ def run_cell(
     n: int,
     *,
     oracle_factory: Optional[OracleFactory] = None,
+    store: Optional[GraphStore] = None,
 ) -> CellPayload:
-    """Route the uniform scheme on one (family, n) graph instance."""
+    """Route the uniform scheme on one (family, n) graph instance.
+
+    *store* is the sweep-wide :class:`GraphStore`; when another experiment
+    already measured this ``(family, n)`` instance the cell reuses its graph
+    and warmed oracle outright.
+    """
     factory = standard_graph_families()[family]
     return scaling_cell(
         EXPERIMENT_ID,
@@ -76,6 +83,7 @@ def run_cell(
         {f"uniform/{family}": lambda graph, seed, oracle: UniformScheme(graph, seed=seed)},
         config,
         oracle_factory=oracle_factory,
+        store=store,
     )
 
 

@@ -10,7 +10,14 @@ into an explicit pipeline:
    computed once per graph instance instead of once per scheme,
 2. the :class:`SweepExecutor` runs the cells — serially or fanned out over a
    ``ProcessPoolExecutor`` (``jobs``) with deterministic per-cell seeding, so
-   parallel runs are bitwise-identical to serial ones,
+   parallel runs are bitwise-identical to serial ones; one
+   :class:`~repro.graphs.store.GraphStore` is shared across *all* experiments
+   of the run (instances are keyed ``(family, n, instance_seed)`` with no
+   experiment id), so the second and later experiments over a given instance
+   perform zero graph builds and zero repeat BFS sweeps — with
+   ``graph_cache`` the store also spills its BFS/``next_local`` arrays to
+   fingerprint-checked ``.npz`` files that pool the work across worker
+   processes and across runs,
 3. each computed cell is persisted as a JSON
    :class:`~repro.analysis.reporting.CellArtifact` (``artifacts_dir``) and a
    resumed sweep (``resume=True``) skips every cell whose artifact already
@@ -48,6 +55,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import OracleFactory
 from repro.experiments.config import ExperimentConfig
+from repro.graphs.store import GraphStore, process_store
 
 __all__ = [
     "EXPERIMENT_MODULES",
@@ -116,11 +124,26 @@ class SweepCell:
 
 
 def _run_cell_worker(
-    experiment_id: str, family: str, n: int, config: ExperimentConfig
+    experiment_id: str,
+    family: str,
+    n: int,
+    config: ExperimentConfig,
+    graph_cache: Optional[str] = None,
 ) -> Tuple[str, str, int, dict]:
-    """Process-pool entry point: compute one cell (module-level: picklable)."""
+    """Process-pool entry point: compute one cell (module-level: picklable).
+
+    Each worker process keeps one :func:`~repro.graphs.store.process_store`
+    per cache directory: cells landing in the same worker share graph
+    instances and warmed oracles in memory, and — with ``graph_cache`` — the
+    store spills every instance it warmed after the cell, so *other* workers
+    reload the BFS arrays from disk instead of recomputing them.  Either way
+    the payload is bitwise identical to a serial run: the store only ever
+    serves arrays a fresh BFS would reproduce exactly.
+    """
     module = _module_by_id(experiment_id)
-    payload = module.run_cell(config, family, n)
+    store = process_store(graph_cache)
+    payload = module.run_cell(config, family, n, store=store)
+    store.spill()
     return experiment_id, family, n, payload
 
 
@@ -146,9 +169,20 @@ class SweepExecutor:
         Test hook building the per-cell oracle (e.g. a counting oracle).
         Factories are generally not picklable, so setting one forces
         in-process execution regardless of ``jobs``.
+    graph_cache:
+        Directory for the :class:`~repro.graphs.store.GraphStore`'s disk
+        spill.  Serial runs spill each warmed instance after its cell;
+        ``--jobs`` workers additionally *reload* instances other workers
+        spilled, so BFS work is shared across processes (and across separate
+        sweep invocations pointing at the same directory).
+    store:
+        Explicit :class:`GraphStore` to run on (tests inject counting
+        stores).  Stores are not picklable, so setting one forces in-process
+        execution; default is a run-wide store spilling to ``graph_cache``.
 
     After :meth:`run`, :attr:`executed` and :attr:`skipped` list the cells
-    that were computed fresh vs served from artifacts.
+    that were computed fresh vs served from artifacts, and :attr:`store` is
+    the run's (serial-path) graph store with its cache-hit statistics.
     """
 
     def __init__(
@@ -159,6 +193,8 @@ class SweepExecutor:
         artifacts_dir: Optional[Union[str, Path]] = None,
         resume: bool = False,
         oracle_factory: Optional[OracleFactory] = None,
+        graph_cache: Optional[Union[str, Path]] = None,
+        store: Optional[GraphStore] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -170,6 +206,13 @@ class SweepExecutor:
         self._artifacts_dir = Path(artifacts_dir) if artifacts_dir is not None else None
         self._resume = resume
         self._oracle_factory = oracle_factory
+        self._graph_cache = Path(graph_cache) if graph_cache is not None else None
+        if store is None:
+            store = GraphStore(spill_dir=self._graph_cache, oracle_factory=oracle_factory)
+            self._private_store = True
+        else:
+            self._private_store = False
+        self.store = store
         self.executed: List[SweepCell] = []
         self.skipped: List[SweepCell] = []
 
@@ -234,18 +277,37 @@ class SweepExecutor:
                         continue
                 pending.append(cell)
 
-        if self._jobs == 1 or self._oracle_factory is not None or len(pending) <= 1:
+        in_process = (
+            self._jobs == 1
+            or self._oracle_factory is not None
+            or not self._private_store
+            or len(pending) <= 1
+        )
+        if in_process:
             for cell in pending:
                 module = _module_by_id(cell.experiment_id)
                 payload = module.run_cell(
-                    self._config, cell.family, cell.n, oracle_factory=self._oracle_factory
+                    self._config,
+                    cell.family,
+                    cell.n,
+                    oracle_factory=self._oracle_factory,
+                    store=self.store,
                 )
+                # Spill after every cell so an interrupted sweep still leaves
+                # its BFS arrays behind for the next (or a parallel) run.
+                self.store.spill()
                 self._finish(payloads, cell, payload)
         else:
+            graph_cache = str(self._graph_cache) if self._graph_cache is not None else None
             with concurrent.futures.ProcessPoolExecutor(max_workers=self._jobs) as pool:
                 futures = {
                     pool.submit(
-                        _run_cell_worker, cell.experiment_id, cell.family, cell.n, self._config
+                        _run_cell_worker,
+                        cell.experiment_id,
+                        cell.family,
+                        cell.n,
+                        self._config,
+                        graph_cache,
                     ): cell
                     for cell in pending
                 }
@@ -270,6 +332,8 @@ def run_all(
     artifacts_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     oracle_factory: Optional[OracleFactory] = None,
+    graph_cache: Optional[Union[str, Path]] = None,
+    store: Optional[GraphStore] = None,
     stats: Optional[dict] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run all (or the selected) experiments with one shared configuration.
@@ -292,8 +356,17 @@ def run_all(
         the report is assembled from the mix of loaded and fresh cells.
     oracle_factory:
         Test hook for the per-cell distance oracle (forces in-process runs).
+    graph_cache:
+        Directory for the GraphStore's ``.npz`` BFS/next_local spill (shares
+        instances across worker processes and across separate runs).
+    store:
+        Explicit :class:`~repro.graphs.store.GraphStore` shared across the
+        run's experiments (forces in-process runs; tests inject counting
+        stores here, and successive ``run_all`` calls can pool instances by
+        passing the same store).
     stats:
-        Optional dict populated with ``"executed"`` / ``"skipped"`` cell lists.
+        Optional dict populated with ``"executed"`` / ``"skipped"`` cell
+        lists and the ``"store"`` cache-hit counters.
     """
     config = config or ExperimentConfig.full()
     modules = select_modules(only)
@@ -303,6 +376,8 @@ def run_all(
         artifacts_dir=artifacts_dir,
         resume=resume,
         oracle_factory=oracle_factory,
+        graph_cache=graph_cache,
+        store=store,
     )
     payloads = executor.run(modules)
     results: Dict[str, ExperimentResult] = {}
@@ -315,6 +390,7 @@ def run_all(
     if stats is not None:
         stats["executed"] = list(executor.executed)
         stats["skipped"] = list(executor.skipped)
+        stats["store"] = executor.store.stats()
     return results
 
 
@@ -380,6 +456,7 @@ def main() -> None:  # pragma: no cover - CLI convenience
     parser.add_argument(
         "--resume", action="store_true", help="skip cells whose artifact already exists in --out"
     )
+    parser.add_argument("--graph-cache", help="directory for the GraphStore's BFS spill files")
     args = parser.parse_args()
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
     results = run_all(
@@ -389,6 +466,7 @@ def main() -> None:  # pragma: no cover - CLI convenience
         jobs=args.jobs,
         artifacts_dir=args.out,
         resume=args.resume,
+        graph_cache=args.graph_cache,
     )
     if args.markdown:
         print(render_markdown(results))

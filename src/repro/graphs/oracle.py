@@ -26,7 +26,16 @@ decomposition-local oracle in ``repro.decomposition.bags``).  The
   Computed with one vectorized CSR segment-argmin pass over the cached
   distance array — or read straight off the BFS parent pointers on trees,
   where the improving neighbour is unique — and memoised under the same LRU
-  policy as the distance arrays.
+  policy as the distance arrays,
+* :meth:`next_local_to_many` builds the tables for a whole batch of targets
+  in **one** transposed composite-key pass over the stacked distance block
+  (see :func:`next_local_pointers_many`), which is what erases the lane
+  engine's per-cell cold start: the first scheme of a cell no longer pays
+  one Python round-trip per target,
+* :meth:`export_state` / :meth:`absorb_state` round-trip the cached arrays
+  as plain numpy blocks so the :class:`~repro.graphs.store.GraphStore` can
+  spill a warmed oracle to disk and rebuild it in another process without a
+  single repeated BFS.
 
 Because the graphs are undirected, ``distances_from`` and ``distances_to``
 are the same array; both spellings exist so call sites read naturally.
@@ -35,7 +44,7 @@ are the same array; both spellings exist so call sites read naturally.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,7 +57,13 @@ from repro.graphs.frontier import (
 from repro.graphs.graph import Graph
 from repro.utils.validation import check_node_index
 
-__all__ = ["DistanceOracle", "FAR_DISTANCE", "next_local_pointers"]
+__all__ = [
+    "DistanceOracle",
+    "FAR_DISTANCE",
+    "next_local_pointers",
+    "next_local_pointers_many",
+    "padded_adjacency",
+]
 
 #: Sentinel larger than any real distance, used in place of ``UNREACHABLE``
 #: (-1, which would win any min-comparison) in the masked routing blocks and
@@ -103,6 +118,118 @@ def next_local_pointers(
     return out
 
 
+#: Skip the padded-adjacency fast path when padding would inflate the edge
+#: array beyond this factor (hub-dominated graphs: stars, lollipop heads).
+#: The per-target reference pass is used instead — identical output.
+_PAD_BLOWUP_LIMIT: int = 4
+
+#: Column-tile width of the blocked transposes in the batched pointer pass;
+#: a (tile, k) int32 tile stays L2-resident for any realistic batch size.
+_TRANSPOSE_TILE: int = 2048
+
+
+def padded_adjacency(graph: Graph) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Slot-major padded adjacency ``(padT, degrees)`` for the batched pass.
+
+    ``padT`` has shape ``(max_degree, n)``: column ``u`` lists the neighbours
+    of ``u`` in CSR order, padded with the sentinel node ``n``.  Returns
+    ``None`` when padding would inflate the arc array more than
+    ``_PAD_BLOWUP_LIMIT``-fold (a few huge hubs), in which case callers fall
+    back to the per-target pass.
+    """
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    degrees = np.diff(indptr)
+    dmax = int(degrees.max()) if n and indices.size else 0
+    if dmax == 0:
+        return None
+    if n * dmax > _PAD_BLOWUP_LIMIT * indices.size + 4096:
+        return None
+    padT = np.full((dmax, n), n, dtype=np.int64)
+    slot_in_node = np.arange(indices.size, dtype=np.int64) - np.repeat(indptr[:-1], degrees)
+    owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    padT[slot_in_node, owner] = indices
+    return padT, degrees
+
+
+def next_local_pointers_many(
+    graph: Graph,
+    dist_block: np.ndarray,
+    *,
+    padded: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> np.ndarray:
+    """Batched :func:`next_local_pointers`: one vectorized pass for many targets.
+
+    ``dist_block`` has shape ``(k, n)`` — row ``r`` is the BFS distance array
+    of the ``r``-th target — and the result has the same shape, with
+    ``out[r, u]`` equal to ``next_local_pointers(graph, dist_block[r])[u]``
+    exactly.
+
+    The pass works on the *composite key* ``c[u] = dist[u] * n + u``, whose
+    minimum over a node's neighbours is the lexicographic ``(distance, id)``
+    minimum — i.e. precisely the first CSR-order (lowest-id, lists are
+    sorted) neighbour attaining the minimum distance.  The batch is laid out
+    **transposed**: a ``(n+1, k)`` composite block (sentinel last row) lets
+    one :func:`np.take` per padded adjacency slot gather that slot's
+    neighbour key for *all* ``k`` targets with a single ``n``-element index
+    pass — the per-element index overhead that dominates the per-target loop
+    is amortised ``k``-fold, and every reduction below it is a contiguous
+    SIMD ``minimum``.  Keys run in int32 whenever the composite fits, and
+    both transposes are tiled so the strided side of each copy stays
+    cache-resident.
+
+    Graphs whose maximum degree would blow up the padded adjacency (see
+    :func:`padded_adjacency`) take the per-target reference pass instead —
+    same output, just without the batching win.
+    """
+    dist_block = np.asarray(dist_block)
+    if dist_block.ndim != 2 or dist_block.shape[1] != graph.num_nodes:
+        raise ValueError("dist_block must have shape (k, num_nodes)")
+    k, n = dist_block.shape
+    out = np.full((k, n), -1, dtype=np.int64)
+    if k == 0 or n == 0 or graph.indices.size == 0:
+        return out
+    if padded is None:
+        padded = padded_adjacency(graph)
+    if padded is None:  # hub-dominated: padding rejected, use the reference pass
+        for r in range(k):
+            out[r] = next_local_pointers(graph, dist_block[r])
+        return out
+    padT, degrees = padded
+    max_d = int(dist_block.max())
+    small = (max_d + 2) * (n + 1) < np.iinfo(np.int32).max
+    dt = np.int32 if small else np.int64
+    ids_col = np.arange(n, dtype=dt)[:, None]
+    # Composite block, transposed, with the sentinel row keeping padded slots
+    # out of every minimum.
+    c_t = np.empty((n + 1, k), dtype=dt)
+    for start in range(0, n, _TRANSPOSE_TILE):
+        stop = min(start + _TRANSPOSE_TILE, n)
+        np.multiply(dist_block[:, start:stop].T, dt(n), out=c_t[start:stop], casting="unsafe")
+    np.add(c_t[:n], ids_col, out=c_t[:n])
+    c_t[n] = np.iinfo(dt).max
+    # Plain (allocating) takes: np.take's ``out=`` path runs a slower buffered
+    # loop, measurably worse than letting it allocate per slot.
+    mins = np.take(c_t, padT[0], axis=0)
+    for j in range(1, padT.shape[0]):
+        np.minimum(mins, np.take(c_t, padT[j], axis=0), out=mins)
+    # hop = min_composite - (dist - 1) * n = mins - c + id + n; a hop is valid
+    # iff it lands in [0, n) — target rows (min at distance >= 1), unreachable
+    # rows and sentinel-only (isolated) rows all fall outside, including via
+    # deterministic int wraparound of the sentinel.
+    np.subtract(mins, c_t[:n], out=mins)
+    np.add(mins, ids_col, out=mins)
+    np.add(mins, dt(n), out=mins)
+    bad = (mins < 0) | (mins >= dt(n))
+    bad |= (degrees == 0)[:, None]
+    mins[bad] = dt(-1)
+    for start in range(0, n, _TRANSPOSE_TILE):
+        stop = min(start + _TRANSPOSE_TILE, n)
+        np.copyto(out[:, start:stop], mins[start:stop].T, casting="unsafe")
+    return out
+
+
 class DistanceOracle:
     """Memoised single-source BFS oracle with an optional LRU cap.
 
@@ -129,11 +256,15 @@ class DistanceOracle:
         self._next_local: "OrderedDict[int, np.ndarray]" = OrderedDict()
         #: CSR slot-to-node map, built lazily for next_local computations.
         self._slot_owner: Optional[np.ndarray] = None
+        #: Padded adjacency for the batched pointer pass (None = not built
+        #: yet, False = this graph rejected padding — hub-dominated).
+        self._padded = None
         #: Single-slot cache of the lane engine's stacked per-target blocks,
         #: keyed by the exact targets tuple (see :meth:`routing_blocks`).
         self._blocks: Optional[tuple] = None
         self._hits = 0
         self._misses = 0
+        self._preloaded = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -158,9 +289,18 @@ class DistanceOracle:
         """Number of queries that required a fresh BFS."""
         return self._misses
 
+    @property
+    def preloaded(self) -> int:
+        """Number of arrays absorbed from a spilled state (no BFS, no hit)."""
+        return self._preloaded
+
     def cache_size(self) -> int:
         """Number of distance arrays currently cached."""
         return len(self._cache)
+
+    def next_local_cache_size(self) -> int:
+        """Number of ``next_local`` hop tables currently cached."""
+        return len(self._next_local)
 
     def clear(self) -> None:
         """Drop every cached array (hit/miss counters are kept)."""
@@ -247,18 +387,77 @@ class DistanceOracle:
         if dist is None:
             dist = self.distances_from(target)
         if table is None:
-            if self._slot_owner is None:
-                self._slot_owner = np.repeat(
-                    np.arange(self._graph.num_nodes, dtype=np.int64),
-                    np.diff(self._graph.indptr),
-                )
-            table = next_local_pointers(self._graph, dist, slot_owner=self._slot_owner)
+            table = next_local_pointers(self._graph, dist, slot_owner=self._owner_map())
         table.setflags(write=False)
+        self._store_next_local(target, table)
+        return table
+
+    def _owner_map(self) -> np.ndarray:
+        """The CSR slot-to-node map, built once and reused by every pass."""
+        if self._slot_owner is None:
+            self._slot_owner = np.repeat(
+                np.arange(self._graph.num_nodes, dtype=np.int64),
+                np.diff(self._graph.indptr),
+            )
+        return self._slot_owner
+
+    def _padded_adjacency(self):
+        """Padded adjacency for the batched pointer pass, built once."""
+        if self._padded is False:  # computed before, graph rejected padding
+            return None
+        if self._padded is None:
+            self._padded = padded_adjacency(self._graph)
+            if self._padded is None:
+                self._padded = False
+                return None
+        return self._padded
+
+    def _store_next_local(self, target: int, table: np.ndarray) -> None:
         self._next_local[target] = table
         if self._max_entries is not None:
             while len(self._next_local) > self._max_entries:
                 self._next_local.popitem(last=False)
-        return table
+
+    def next_local_to_many(self, targets: Sequence[int]) -> np.ndarray:
+        """Hop-table block of shape ``(len(targets), n)``, one row per target.
+
+        Rows already memoised by :meth:`next_local_to` are reused; all missing
+        rows are built together — their distance arrays warmed with one
+        batched frontier sweep (:meth:`distances_to_many`, a cache hit per
+        already-known row) and their pointer tables derived in **one**
+        transposed composite-key pass (:func:`next_local_pointers_many`)
+        instead of one Python round-trip per target.  Every row is
+        bit-for-bit identical to the corresponding :meth:`next_local_to`
+        table, and fresh rows are memoised under the same LRU policy.
+        Duplicate targets repeat their row; the returned block is a fresh
+        writable stack.
+        """
+        n = self._graph.num_nodes
+        key = [check_node_index(int(t), n, "target") for t in targets]
+        if not key:
+            return np.empty((0, n), dtype=np.int64)
+        missing: list[int] = []
+        seen = set()
+        for t in key:
+            if t not in self._next_local and t not in seen:
+                seen.add(t)
+                missing.append(t)
+        if self._max_entries is not None and len(missing) > self._max_entries:
+            # Mirror prefetch(): keep the head of the batch — those are the
+            # rows consumed (below) before any later insert can evict them.
+            missing = missing[: self._max_entries]
+        if missing:
+            dist_block = self.distances_to_many(missing)
+            tables = next_local_pointers_many(
+                self._graph, dist_block, padded=self._padded_adjacency()
+            )
+            for row, t in enumerate(missing):
+                # Copy each row out of the block so the LRU cap can release
+                # the block's memory row by row (same policy as prefetch).
+                table = tables[row].copy()
+                table.setflags(write=False)
+                self._store_next_local(t, table)
+        return np.stack([self.next_local_to(t) for t in key])
 
     def routing_blocks(self, targets: Sequence[int]) -> tuple:
         """Stacked lane-engine blocks for *targets*: ``(dist_block, next_local_block)``.
@@ -282,10 +481,11 @@ class DistanceOracle:
         dist_block = self.distances_to_many(key)
         dist_block[dist_block == UNREACHABLE] = FAR_DISTANCE
         dist_block.setflags(write=False)
-        if key:
-            next_local_block = np.stack([self.next_local_to(t) for t in key])
-        else:
-            next_local_block = np.empty((0, self._graph.num_nodes), dtype=np.int64)
+        # One transposed composite-key pass builds every missing hop table at
+        # once (the distance rows above are cache hits for it) — this is what
+        # lifts the lane engine's cold (first-scheme) estimate to the warm
+        # rate.
+        next_local_block = self.next_local_to_many(key)
         next_local_block.setflags(write=False)
         self._blocks = (key, dist_block, next_local_block)
         return dist_block, next_local_block
@@ -341,3 +541,67 @@ class DistanceOracle:
             raise ValueError("radius must be non-negative")
         dist = self.distances_from(center)
         return int(np.count_nonzero((dist != UNREACHABLE) & (dist <= radius)))
+
+    # ------------------------------------------------------------------ #
+    # Spill round-trip (GraphStore)
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """Cached arrays as four plain numpy blocks (JSON-free, ``np.savez``-able).
+
+        ``dist_sources``/``dist_block`` stack the memoised distance arrays
+        (LRU order, oldest first) and ``nl_targets``/``nl_block`` the
+        memoised ``next_local`` tables.  Together with the graph these blocks
+        fully reconstruct the oracle's caches via :meth:`absorb_state` — the
+        :class:`~repro.graphs.store.GraphStore` spills them to ``.npz`` so a
+        sibling worker process rebuilds a warmed oracle with zero BFS.
+        """
+        n = self._graph.num_nodes
+        dist_sources = np.fromiter(self._cache.keys(), dtype=np.int64, count=len(self._cache))
+        dist_block = (
+            np.stack(list(self._cache.values()))
+            if self._cache
+            else np.empty((0, n), dtype=np.int64)
+        )
+        nl_targets = np.fromiter(
+            self._next_local.keys(), dtype=np.int64, count=len(self._next_local)
+        )
+        nl_block = (
+            np.stack(list(self._next_local.values()))
+            if self._next_local
+            else np.empty((0, n), dtype=np.int64)
+        )
+        return {
+            "dist_sources": dist_sources,
+            "dist_block": dist_block,
+            "nl_targets": nl_targets,
+            "nl_block": nl_block,
+        }
+
+    def absorb_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Preload the caches from an :meth:`export_state` snapshot.
+
+        Absorbed arrays count as neither hits nor misses (the ``preloaded``
+        counter tracks them), entries already cached are left untouched, and
+        the LRU cap applies as usual — so absorbing is observationally
+        identical to having computed the arrays locally, minus the BFS.
+        """
+        n = self._graph.num_nodes
+        dist_sources = np.asarray(state["dist_sources"], dtype=np.int64)
+        dist_block = np.asarray(state["dist_block"], dtype=np.int64)
+        nl_targets = np.asarray(state["nl_targets"], dtype=np.int64)
+        nl_block = np.asarray(state["nl_block"], dtype=np.int64)
+        if dist_block.shape != (dist_sources.size, n) or nl_block.shape != (nl_targets.size, n):
+            raise ValueError("spilled oracle state does not match this graph's shape")
+        for row, source in enumerate(dist_sources):
+            source = check_node_index(int(source), n, "source")
+            if source not in self._cache:
+                self._store(source, dist_block[row].copy())
+                self._preloaded += 1
+        for row, target in enumerate(nl_targets):
+            target = check_node_index(int(target), n, "target")
+            if target not in self._next_local:
+                table = nl_block[row].copy()
+                table.setflags(write=False)
+                self._store_next_local(target, table)
+                self._preloaded += 1

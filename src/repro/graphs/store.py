@@ -1,0 +1,350 @@
+"""Cross-experiment :class:`GraphStore` cache service.
+
+Every experiment of the reproduction sweeps the same ``(family, n)`` graph
+instances, and before this module each experiment rebuilt its graphs and
+re-ran every BFS from scratch: the :class:`~repro.graphs.oracle.DistanceOracle`
+pooled BFS work *within* one experiment cell, but nothing pooled it *across*
+experiments.  The :class:`GraphStore` closes that gap:
+
+* it is a registry keyed ``(family, n, graph_seed)`` that hands out memoised
+  :class:`StoreEntry` objects — one generated :class:`~repro.graphs.graph.Graph`
+  plus the one :class:`DistanceOracle` everything measured on that instance
+  shares.  When ``run_all`` executes several experiments over the same
+  instance, the second and later experiments perform **zero** graph builds
+  and (because the sweep pipeline also keys its pair sampling per instance,
+  see :func:`repro.experiments.common.derive_instance_seed`) zero repeat BFS
+  sweeps,
+* with a ``spill_dir`` it becomes a cross-*process* cache: after a cell is
+  computed the oracle's distance and ``next_local`` arrays are spilled to an
+  ``.npz`` file keyed by the instance and stamped with a **content
+  fingerprint** of the graph's CSR arrays.  A sibling worker (or a later
+  run) that misses in memory reloads the spilled arrays instead of re-running
+  the BFS — after verifying that the fingerprint matches the graph it just
+  built, so a stale or foreign spill file can never smuggle in wrong
+  distances.  Loads and saves go through atomic renames, so concurrent
+  ``--jobs`` workers can share one directory safely,
+* everything it serves is exactly what would have been computed locally
+  (memoised graphs are the same object, absorbed arrays are bitwise equal to
+  a fresh BFS), so ``--jobs N`` stays bitwise-identical to a serial sweep
+  with or without the cache.
+
+:func:`process_store` returns the per-process singleton used by the sweep's
+pool workers, so cells that land in the same worker process share instances
+in memory while cells in different workers share them through the spill
+directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zipfile
+from dataclasses import dataclass, field
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.oracle import DistanceOracle
+from repro.utils.text import slugify
+
+__all__ = [
+    "GraphStore",
+    "StoreEntry",
+    "graph_fingerprint",
+    "process_store",
+    "SPILL_SCHEMA_VERSION",
+]
+
+#: Bump when the spill layout changes; loaders reject other versions.
+SPILL_SCHEMA_VERSION = 1
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content fingerprint of a graph's exact CSR structure (sha256 hex).
+
+    Two graphs have the same fingerprint iff they have identical ``indptr``
+    and ``indices`` arrays — the property that makes every BFS array
+    interchangeable between them.  Names are deliberately excluded.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(graph.indptr).tobytes())
+    digest.update(np.ascontiguousarray(graph.indices).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class StoreEntry:
+    """One cached graph instance: the graph, its shared oracle, extras.
+
+    ``extras`` memoises derived per-instance objects (exact decompositions,
+    interval systems, …) that experiments would otherwise recompute; use
+    :meth:`extra` for build-on-miss access.  ``fingerprint`` is the CSR
+    content hash that guards the disk spill round-trip.
+    """
+
+    family: str
+    requested_n: int
+    seed: int
+    graph: Graph
+    oracle: DistanceOracle
+    fingerprint: str
+    extras: Dict[str, object] = field(default_factory=dict)
+    #: Cached-array count (dist + next_local) at load / last spill; used to
+    #: skip rewriting spill files whose content would not change.
+    spilled_arrays: int = 0
+
+    def extra(self, name: str, build: Callable[[], object]) -> object:
+        """Memoised per-instance derived object (e.g. a path decomposition)."""
+        if name not in self.extras:
+            self.extras[name] = build()
+        return self.extras[name]
+
+    def cached_arrays(self) -> int:
+        """Number of arrays the oracle currently caches (dist + next_local)."""
+        return self.oracle.cache_size() + self.oracle.next_local_cache_size()
+
+
+#: Builds the graph of one instance: ``(n, seed) -> Graph`` or
+#: ``(n, seed) -> (Graph, extras_dict)`` for factories whose construction
+#: yields reusable by-products (e.g. an interval graph plus its exact
+#: clique-path decomposition).
+InstanceFactory = Callable[[int, int], Union[Graph, Tuple[Graph, Dict[str, object]]]]
+
+
+class GraphStore:
+    """Process-wide cache of graph instances and their warmed oracles.
+
+    Parameters
+    ----------
+    spill_dir:
+        Optional directory for the ``.npz`` BFS/next_local spill files.  When
+        set, instance misses first try to reload a spilled oracle state
+        (fingerprint-checked) and :meth:`spill` persists warmed oracles for
+        other processes / later runs.
+    oracle_factory:
+        Test hook building each instance's oracle (default
+        :class:`DistanceOracle`); counting oracles plug in here.
+    max_instances:
+        Optional LRU cap on live instances.  Evicted instances are spilled
+        first (when a ``spill_dir`` is configured), so eviction costs a
+        reload, not a recompute.
+    """
+
+    def __init__(
+        self,
+        *,
+        spill_dir: Optional[Union[str, Path]] = None,
+        oracle_factory: Optional[Callable[[Graph], DistanceOracle]] = None,
+        max_instances: Optional[int] = None,
+    ) -> None:
+        if max_instances is not None and max_instances < 1:
+            raise ValueError("max_instances must be at least 1 (or None for unbounded)")
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._oracle_factory = oracle_factory
+        self._max_instances = max_instances
+        self._entries: "OrderedDict[Tuple[str, int, int], StoreEntry]" = OrderedDict()
+        self._stats = {
+            "graph_builds": 0,
+            "graph_hits": 0,
+            "spill_loads": 0,
+            "spill_saves": 0,
+            "spill_rejected": 0,
+        }
+        #: BFS counters of evicted entries, folded into stats() totals.
+        self._retired_misses = 0
+        self._retired_hits = 0
+        self._retired_preloaded = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spill_dir(self) -> Optional[Path]:
+        return self._spill_dir
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Cache-effectiveness counters (graph builds/hits, spill IO, BFS).
+
+        ``bfs_misses`` counts actual BFS sweeps run by the live + evicted
+        oracles, ``bfs_hits`` cache-served distance queries and
+        ``bfs_preloaded`` arrays absorbed from spill files (each one a BFS
+        that some process did *not* repeat).
+        """
+        out = dict(self._stats)
+        out["instances"] = len(self._entries)
+        out["bfs_misses"] = self._retired_misses + sum(
+            e.oracle.misses for e in self._entries.values()
+        )
+        out["bfs_hits"] = self._retired_hits + sum(
+            e.oracle.hits for e in self._entries.values()
+        )
+        out["bfs_preloaded"] = self._retired_preloaded + sum(
+            e.oracle.preloaded for e in self._entries.values()
+        )
+        return out
+
+    def _retire(self, entry: StoreEntry) -> None:
+        """Fold a dropped entry's BFS counters into the running totals."""
+        self._retired_misses += entry.oracle.misses
+        self._retired_hits += entry.oracle.hits
+        self._retired_preloaded += entry.oracle.preloaded
+
+    def clear(self) -> None:
+        """Drop every live instance (stats are kept)."""
+        for entry in self._entries.values():
+            self._retire(entry)
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # Instances
+    # ------------------------------------------------------------------ #
+
+    def instance(
+        self, family: str, n: int, seed: int, graph_factory: InstanceFactory
+    ) -> StoreEntry:
+        """The cached instance for ``(family, n, seed)``, built on miss.
+
+        On miss the graph is generated by ``graph_factory(n, seed)`` (which
+        may also return per-instance ``extras``), its oracle is created, and
+        — when a spill directory is configured — a matching spill file is
+        absorbed after its content fingerprint is verified against the graph
+        that was just built.
+        """
+        key = (str(family), int(n), int(seed))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._stats["graph_hits"] += 1
+            self._entries.move_to_end(key)
+            return entry
+        self._stats["graph_builds"] += 1
+        built = graph_factory(int(n), int(seed))
+        extras: Dict[str, object] = {}
+        if isinstance(built, tuple):
+            graph, extras = built
+            extras = dict(extras)
+        else:
+            graph = built
+        factory = self._oracle_factory if self._oracle_factory is not None else DistanceOracle
+        entry = StoreEntry(
+            family=str(family),
+            requested_n=int(n),
+            seed=int(seed),
+            graph=graph,
+            oracle=factory(graph),
+            fingerprint=graph_fingerprint(graph),
+            extras=extras,
+        )
+        if self._spill_dir is not None:
+            self._load_spill(entry)
+        self._entries[key] = entry
+        if self._max_instances is not None:
+            while len(self._entries) > self._max_instances:
+                _, evicted = self._entries.popitem(last=False)
+                self._spill_entry(evicted)
+                self._retire(evicted)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Disk spill
+    # ------------------------------------------------------------------ #
+
+    def _spill_path(self, entry: StoreEntry) -> Path:
+        assert self._spill_dir is not None
+        return self._spill_dir / (
+            f"{slugify(entry.family)}__n{entry.requested_n}__s{entry.seed}.npz"
+        )
+
+    def _load_spill(self, entry: StoreEntry) -> bool:
+        """Absorb a spilled oracle state into *entry* (fingerprint-checked)."""
+        path = self._spill_path(entry)
+        if not path.is_file():
+            return False
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if int(data["schema_version"]) != SPILL_SCHEMA_VERSION:
+                    self._stats["spill_rejected"] += 1
+                    return False
+                if str(data["fingerprint"]) != entry.fingerprint:
+                    # Content mismatch: the file describes a *different* graph
+                    # (changed generator, foreign file, corruption).  Absorbing
+                    # it would serve wrong distances — recompute instead.
+                    self._stats["spill_rejected"] += 1
+                    return False
+                state = {
+                    "dist_sources": data["dist_sources"],
+                    "dist_block": data["dist_block"],
+                    "nl_targets": data["nl_targets"],
+                    "nl_block": data["nl_block"],
+                }
+                entry.oracle.absorb_state(state)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # Unreadable / truncated / wrong-shape file: recompute locally.
+            self._stats["spill_rejected"] += 1
+            return False
+        entry.spilled_arrays = entry.cached_arrays()
+        self._stats["spill_loads"] += 1
+        return True
+
+    def _spill_entry(self, entry: StoreEntry) -> bool:
+        """Write *entry*'s oracle state to disk if it grew since last spill."""
+        if self._spill_dir is None:
+            return False
+        if entry.cached_arrays() <= entry.spilled_arrays:
+            return False
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spill_path(entry)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        state = entry.oracle.export_state()
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    schema_version=np.int64(SPILL_SCHEMA_VERSION),
+                    fingerprint=np.str_(entry.fingerprint),
+                    **state,
+                )
+            os.replace(tmp, path)  # atomic: concurrent workers race benignly
+        finally:
+            if tmp.exists():  # failed write: do not leave temp litter behind
+                tmp.unlink()
+        entry.spilled_arrays = entry.cached_arrays()
+        self._stats["spill_saves"] += 1
+        return True
+
+    def spill(self) -> int:
+        """Spill every live instance whose oracle grew; returns files written.
+
+        A no-op (returning 0) without a configured ``spill_dir``.  The sweep
+        executor calls this after each computed cell so sibling workers can
+        pick the arrays up immediately.
+        """
+        if self._spill_dir is None:
+            return 0
+        return sum(1 for entry in self._entries.values() if self._spill_entry(entry))
+
+
+# --------------------------------------------------------------------------- #
+# Per-process store (pool workers)
+# --------------------------------------------------------------------------- #
+
+#: One store per (process, spill-dir) — ProcessPoolExecutor workers persist
+#: across cells, so cells that land in the same worker share instances in
+#: memory while cross-worker reuse flows through the spill directory.
+_PROCESS_STORES: Dict[Optional[str], GraphStore] = {}
+
+
+def process_store(spill_dir: Optional[Union[str, Path]] = None) -> GraphStore:
+    """The calling process's :class:`GraphStore` for *spill_dir* (created once)."""
+    key = str(Path(spill_dir)) if spill_dir is not None else None
+    store = _PROCESS_STORES.get(key)
+    if store is None:
+        store = GraphStore(spill_dir=spill_dir)
+        _PROCESS_STORES[key] = store
+    return store

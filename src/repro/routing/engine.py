@@ -13,9 +13,14 @@ array ``dist_G(·, t)``, the best *local* next hop of every node is
 deterministic — it does not depend on the trial's random long-range links.
 The per-target pointer table ``next_local[u]`` (first CSR-order neighbour of
 ``u`` at minimum distance, exactly the candidate ``greedy_route`` scans to)
-is precomputed once per target with a vectorized CSR segment-argmin pass and
-cached on the shared :class:`~repro.graphs.oracle.DistanceOracle`.  A lane
-step then reduces to elementwise numpy arithmetic across thousands of lanes:
+is precomputed for *all* of a batch's targets in one transposed
+composite-key pass (:meth:`DistanceOracle.next_local_to_many`, via
+``routing_blocks``) and cached on the shared
+:class:`~repro.graphs.oracle.DistanceOracle` — with the
+:class:`~repro.graphs.store.GraphStore` threading one oracle through every
+experiment that sweeps the instance, the tables are built once per graph,
+not once per (experiment, scheme).  A lane step then reduces to elementwise
+numpy arithmetic across thousands of lanes:
 
 1. gather each active lane's current distance and precomputed local hop,
 2. draw every lane's long-range contact in one *batched* call

@@ -62,9 +62,12 @@ def extremal_pairs(
     valid pair and raises ``ValueError``.
 
     *oracle* routes the per-source BFS sweeps through a shared
-    :class:`~repro.graphs.oracle.DistanceOracle`: the sampled sources become
-    routing *targets* of the pairs it emits (each ``(s, t)`` is mirrored as
-    ``(t, s)``), so the same arrays are cache hits during simulation.
+    :class:`~repro.graphs.oracle.DistanceOracle` — including the initial
+    double sweep, so a warmed oracle serves the *whole* sampling pass without
+    a single fresh BFS: the sampled sources become routing *targets* of the
+    pairs it emits (each ``(s, t)`` is mirrored as ``(t, s)``), so the same
+    arrays are cache hits during simulation, and a later identically-seeded
+    sampling run (another experiment over the same instance) is pure hits.
     """
     count = check_positive_int(count, "count")
     n = graph.num_nodes
@@ -74,7 +77,14 @@ def extremal_pairs(
         raise ValueError("graph has no edges; every pair would be a self-pair")
     rng = ensure_rng(seed)
     pairs: List[Tuple[int, int]] = []
-    a, b, _ = double_sweep_diameter_lower_bound(graph, start=int(rng.integers(0, n)))
+    start = int(rng.integers(0, n))
+    if oracle is not None:
+        # Oracle-backed double sweep: same argmax tie-breaking as
+        # double_sweep_diameter_lower_bound, but both BFS arrays are cached.
+        a = int(np.argmax(oracle.distances_from(start)))
+        b = int(np.argmax(oracle.distances_from(a)))
+    else:
+        a, b, _ = double_sweep_diameter_lower_bound(graph, start=start)
     if a != b:
         pairs.append((a, b))
     while len(pairs) < count:

@@ -370,6 +370,7 @@ def estimate_greedy_diameter(
     max_steps: Optional[int] = None,
     oracle: Optional[DistanceOracle] = None,
     engine: str = "lane",
+    pair_seed: Optional[int] = None,
 ) -> RoutingEstimate:
     """Estimate the greedy diameter ``diam(G, φ)`` by sampling hard pairs.
 
@@ -380,10 +381,21 @@ def estimate_greedy_diameter(
     experiments are unaffected.  *oracle* is forwarded both to
     :func:`estimate_expected_steps` and to the extremal pair sampler, whose
     per-source BFS sweeps then double as the routing phase's target arrays.
+
+    ``pair_seed`` pins the pair-sampling stream independently of the
+    Monte-Carlo *seed*: callers that route several schemes — or several
+    *experiments* — over one graph instance pass the same ``pair_seed`` so
+    every estimate walks the identical pair set (turning its BFS sweeps into
+    cache hits across the whole batch) while the trial randomness still
+    varies with *seed*.  Left ``None``, both streams derive from *seed* as
+    before.
     """
     rng = ensure_rng(seed)
-    pair_seed = int(rng.integers(0, 2**31 - 1))
+    derived_pair_seed = int(rng.integers(0, 2**31 - 1))
     routing_seed = int(rng.integers(0, 2**31 - 1))
+    if pair_seed is None:
+        pair_seed = derived_pair_seed
+    pair_seed = int(pair_seed)
     if pair_strategy == "extremal":
         if oracle is not None and oracle.graph is not graph and not oracle.graph.same_structure(graph):
             raise ValueError("oracle was built for a different graph")

@@ -1,0 +1,18 @@
+"""Small text helpers shared across layers."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["slugify"]
+
+
+def slugify(text: str) -> str:
+    """Filesystem-safe slug (family names may contain ``/``, spaces, ``=``).
+
+    Used for both the sweep's artifact filenames and the GraphStore's spill
+    filenames — one implementation, so the two naming schemes can never
+    drift apart.
+    """
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")
+    return slug or "x"

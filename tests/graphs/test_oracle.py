@@ -260,3 +260,124 @@ class TestDistancesToMany:
         misses_after = oracle.misses
         oracle.distances_to_many([1, 2, 3])
         assert oracle.misses == misses_after  # second call fully cached
+
+
+class TestNextLocalMany:
+    """The batched multi-target hop-table builder (ISSUE-4 tentpole)."""
+
+    def _portfolio(self):
+        from repro.graphs.graph import Graph
+
+        disconnected = Graph.from_edges(
+            30,
+            [(i, i + 1) for i in range(11)] + [(15 + i, 15 + (i + 1) % 8) for i in range(8)],
+            name="path+ring+isolated",
+        )
+        return [
+            generators.grid_graph([6, 7]),
+            generators.cycle_graph(24),
+            generators.random_tree(40, seed=9),
+            disconnected,
+        ]
+
+    def test_exact_equality_with_per_target_loop(self):
+        # grid / ring / tree / disconnected: every row of the batched block
+        # must be bit-for-bit the per-target next_local_to table.
+        for g in self._portfolio():
+            batched = DistanceOracle(g)
+            loop = DistanceOracle(g)
+            targets = list(range(0, g.num_nodes, max(1, g.num_nodes // 7)))
+            block = batched.next_local_to_many(targets)
+            assert block.shape == (len(targets), g.num_nodes)
+            for row, t in enumerate(targets):
+                np.testing.assert_array_equal(block[row], loop.next_local_to(t))
+
+    def test_pointer_pass_matches_reference(self):
+        from repro.graphs.oracle import next_local_pointers, next_local_pointers_many
+
+        for g in self._portfolio():
+            oracle = DistanceOracle(g)
+            targets = list(range(0, g.num_nodes, max(1, g.num_nodes // 5)))
+            dist_block = oracle.distances_to_many(targets)
+            many = next_local_pointers_many(g, dist_block)
+            for row in range(len(targets)):
+                np.testing.assert_array_equal(
+                    many[row], next_local_pointers(g, dist_block[row])
+                )
+
+    def test_hub_graph_uses_fallback_and_matches(self):
+        # A star's padded adjacency would blow up n x (n-1); the builder must
+        # reject padding and still produce exact tables via the fallback.
+        from repro.graphs.graph import Graph
+        from repro.graphs.oracle import padded_adjacency
+
+        star = Graph.from_edges(1200, [(0, i) for i in range(1, 1200)])
+        assert padded_adjacency(star) is None
+        batched = DistanceOracle(star)
+        loop = DistanceOracle(star)
+        block = batched.next_local_to_many([0, 5, 11])
+        for row, t in enumerate([0, 5, 11]):
+            np.testing.assert_array_equal(block[row], loop.next_local_to(t))
+
+    def test_duplicates_and_cached_rows(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        oracle.next_local_to(3)  # pre-warm one row through the scalar path
+        block = oracle.next_local_to_many([3, 7, 3])
+        np.testing.assert_array_equal(block[0], block[2])
+        np.testing.assert_array_equal(block[1], DistanceOracle(grid4x4).next_local_to(7))
+
+    def test_warms_distance_cache_and_is_memoised(self, grid4x4):
+        oracle = DistanceOracle(grid4x4)
+        oracle.next_local_to_many([1, 5, 9])
+        misses = oracle.misses
+        oracle.next_local_to_many([1, 5, 9])  # fully cached second time
+        assert oracle.misses == misses
+        oracle.distances_to_many([1, 5, 9])  # distance rows were cached too
+        assert oracle.misses == misses
+
+    def test_lru_cap_respected(self, cycle12):
+        oracle = DistanceOracle(cycle12, max_entries=2)
+        block = oracle.next_local_to_many([1, 2, 3, 4])
+        reference = DistanceOracle(cycle12)
+        for row, t in enumerate([1, 2, 3, 4]):
+            np.testing.assert_array_equal(block[row], reference.next_local_to(t))
+        assert oracle.next_local_cache_size() <= 2
+
+    def test_empty_targets(self, cycle12):
+        oracle = DistanceOracle(cycle12)
+        assert oracle.next_local_to_many([]).shape == (0, cycle12.num_nodes)
+
+
+class TestSpillState:
+    """export_state / absorb_state: the GraphStore's oracle round-trip."""
+
+    def test_round_trip_is_bitwise_and_bfs_free(self, grid4x4):
+        warm = DistanceOracle(grid4x4)
+        warm.prefetch([0, 5, 9])
+        warm.next_local_to(5)
+        cold = DistanceOracle(grid4x4)
+        cold.absorb_state(warm.export_state())
+        assert cold.misses == 0 and cold.preloaded == 4
+        np.testing.assert_array_equal(cold.distances_from(9), warm.distances_from(9))
+        np.testing.assert_array_equal(cold.next_local_to(5), warm.next_local_to(5))
+        assert cold.misses == 0  # every query above was absorbed, not recomputed
+
+    def test_absorb_keeps_existing_entries(self, cycle12):
+        a = DistanceOracle(cycle12)
+        own = a.distances_from(3)
+        donor = DistanceOracle(cycle12)
+        donor.prefetch([3, 4])
+        a.absorb_state(donor.export_state())
+        assert a.distances_from(3) is own  # not replaced
+        assert a.preloaded == 1  # only the genuinely new row (4)
+
+    def test_absorb_rejects_wrong_shape(self, cycle12, path8):
+        donor = DistanceOracle(path8)
+        donor.prefetch([0, 1])
+        with pytest.raises(ValueError):
+            DistanceOracle(cycle12).absorb_state(donor.export_state())
+
+    def test_empty_state_round_trips(self, cycle12):
+        cold = DistanceOracle(cycle12)
+        cold.absorb_state(DistanceOracle(cycle12).export_state())
+        assert cold.preloaded == 0 and cold.cache_size() == 0

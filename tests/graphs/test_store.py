@@ -1,0 +1,254 @@
+"""Tests for the cross-experiment GraphStore cache service (ISSUE-4).
+
+Covers the acceptance criteria: with a run-wide store, a two-experiment
+sweep over the same ``(family, n, seed)`` instances performs zero graph
+rebuilds and zero repeat BFS sweeps in the second experiment
+(counting-oracle test), the disk spill round-trips exactly and rejects
+content-fingerprint mismatches, and ``--jobs N`` with the cache on stays
+bitwise-identical to a serial sweep without it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import render_markdown, run_all
+from repro.graphs import generators
+from repro.graphs.oracle import DistanceOracle
+from repro.graphs.store import (
+    SPILL_SCHEMA_VERSION,
+    GraphStore,
+    graph_fingerprint,
+    process_store,
+)
+
+TINY = ExperimentConfig(sizes=[48, 96], num_pairs=3, trials=3, seed=7)
+
+
+class _RecordingFactory:
+    """Oracle factory keeping every oracle it built (for hit/miss counting)."""
+
+    def __init__(self):
+        self.oracles = []
+
+    def __call__(self, graph):
+        oracle = DistanceOracle(graph)
+        self.oracles.append(oracle)
+        return oracle
+
+    @property
+    def total_misses(self):
+        return sum(o.misses for o in self.oracles)
+
+    @property
+    def total_hits(self):
+        return sum(o.hits for o in self.oracles)
+
+
+def _ring(n, seed):
+    return generators.cycle_graph(n)
+
+
+class TestFingerprint:
+    def test_structure_sensitive_name_insensitive(self):
+        a = generators.cycle_graph(32)
+        b = generators.cycle_graph(32).with_name("other-name")
+        c = generators.path_graph(32)
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+        assert graph_fingerprint(a) != graph_fingerprint(c)
+
+
+class TestInstanceRegistry:
+    def test_memoises_by_key(self):
+        store = GraphStore()
+        e1 = store.instance("ring", 64, 7, _ring)
+        e2 = store.instance("ring", 64, 7, _ring)
+        assert e1 is e2
+        assert store.stats()["graph_builds"] == 1
+        assert store.stats()["graph_hits"] == 1
+
+    def test_distinct_keys_are_distinct_instances(self):
+        store = GraphStore()
+        base = store.instance("ring", 64, 7, _ring)
+        assert store.instance("ring", 64, 8, _ring) is not base
+        assert store.instance("ring", 48, 7, _ring) is not base
+        assert store.instance("path", 64, 7, lambda n, s: generators.path_graph(n)) is not base
+        assert store.stats()["graph_builds"] == 4
+
+    def test_factory_extras_and_memoised_extra(self):
+        store = GraphStore()
+        entry = store.instance(
+            "x", 16, 0, lambda n, s: (generators.path_graph(n), {"payload": 42})
+        )
+        assert entry.extras["payload"] == 42
+        calls = []
+        assert entry.extra("derived", lambda: calls.append(1) or "built") == "built"
+        assert entry.extra("derived", lambda: calls.append(1) or "rebuilt") == "built"
+        assert len(calls) == 1
+
+    def test_oracle_factory_hook(self):
+        factory = _RecordingFactory()
+        store = GraphStore(oracle_factory=factory)
+        entry = store.instance("ring", 32, 1, _ring)
+        assert entry.oracle is factory.oracles[0]
+
+    def test_max_instances_lru(self):
+        store = GraphStore(max_instances=2)
+        store.instance("ring", 32, 1, _ring)
+        store.instance("ring", 48, 1, _ring)
+        store.instance("ring", 64, 1, _ring)
+        assert len(store) == 2
+        assert store.stats()["instances"] == 2
+
+    def test_invalid_max_instances(self):
+        with pytest.raises(ValueError):
+            GraphStore(max_instances=0)
+
+
+class TestDiskSpill:
+    def test_round_trip_serves_bfs_without_recompute(self, tmp_path):
+        writer = GraphStore(spill_dir=tmp_path)
+        entry = writer.instance("ring", 64, 7, _ring)
+        entry.oracle.prefetch([1, 2, 3])
+        entry.oracle.next_local_to(2)
+        assert writer.spill() == 1
+        assert writer.spill() == 0  # unchanged oracle: no rewrite
+
+        # A fresh store (≈ another worker process) absorbs the arrays.
+        reader = GraphStore(spill_dir=tmp_path)
+        loaded = reader.instance("ring", 64, 7, _ring)
+        assert reader.stats()["spill_loads"] == 1
+        assert loaded.oracle.preloaded == 4  # 3 dist rows + 1 hop table
+        np.testing.assert_array_equal(
+            loaded.oracle.distances_from(2), entry.oracle.distances_from(2)
+        )
+        np.testing.assert_array_equal(
+            loaded.oracle.next_local_to(2), entry.oracle.next_local_to(2)
+        )
+        assert loaded.oracle.misses == 0  # zero BFS repeated
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        writer = GraphStore(spill_dir=tmp_path)
+        entry = writer.instance("ring", 64, 7, _ring)
+        entry.oracle.prefetch([1, 2])
+        writer.spill()
+
+        # Same (family, n, seed) key, different generator: the spilled arrays
+        # describe another graph and must NOT be absorbed.
+        liar = GraphStore(spill_dir=tmp_path)
+        other = liar.instance("ring", 64, 7, lambda n, s: generators.path_graph(n))
+        assert liar.stats()["spill_rejected"] == 1
+        assert liar.stats()["spill_loads"] == 0
+        assert other.oracle.preloaded == 0
+        # ... and the oracle still computes correct (fresh) distances.
+        assert other.oracle(0, 63) == 63
+
+    def test_corrupt_spill_rejected(self, tmp_path):
+        writer = GraphStore(spill_dir=tmp_path)
+        entry = writer.instance("ring", 64, 7, _ring)
+        entry.oracle.prefetch([1])
+        writer.spill()
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(b"this is not a zip archive")
+        reader = GraphStore(spill_dir=tmp_path)
+        loaded = reader.instance("ring", 64, 7, _ring)
+        assert reader.stats()["spill_rejected"] == 1
+        assert loaded.oracle.preloaded == 0
+
+    def test_schema_version_stamped(self, tmp_path):
+        store = GraphStore(spill_dir=tmp_path)
+        entry = store.instance("ring", 32, 1, _ring)
+        entry.oracle.prefetch([0])
+        store.spill()
+        (path,) = tmp_path.glob("*.npz")
+        with np.load(path, allow_pickle=False) as data:
+            assert int(data["schema_version"]) == SPILL_SCHEMA_VERSION
+            assert str(data["fingerprint"]) == entry.fingerprint
+
+    def test_eviction_spills_before_dropping(self, tmp_path):
+        store = GraphStore(spill_dir=tmp_path, max_instances=1)
+        first = store.instance("ring", 32, 1, _ring)
+        first.oracle.prefetch([3])
+        store.instance("ring", 48, 1, _ring)  # evicts the warmed instance
+        assert store.stats()["spill_saves"] == 1
+        # BFS work of the evicted oracle stays visible in the totals.
+        assert store.stats()["bfs_misses"] >= 1
+
+
+class TestProcessStore:
+    def test_singleton_per_spill_dir(self, tmp_path):
+        a = process_store(tmp_path)
+        b = process_store(tmp_path)
+        other = process_store(tmp_path / "elsewhere")
+        assert a is b
+        assert a is not other
+        assert process_store() is process_store()
+
+
+class TestCrossExperimentReuse:
+    """The tentpole acceptance: second experiment = zero builds, zero BFS."""
+
+    def test_second_experiment_zero_graph_builds_zero_bfs(self):
+        factory = _RecordingFactory()
+        store = GraphStore(oracle_factory=factory)
+
+        # First experiment (EXP-6: ball + uniform over the standard families)
+        # populates the store.
+        run_all(TINY, only=["EXP-6"], store=store)
+        builds_after_first = store.stats()["graph_builds"]
+        misses_after_first = factory.total_misses
+        assert builds_after_first > 0 and misses_after_first > 0
+
+        # Second experiment (EXP-1: uniform over the SAME families/sizes):
+        # every instance is a store hit and every BFS query — pair sampling,
+        # routing targets, hop tables — is served from the warmed oracles.
+        run_all(TINY, only=["EXP-1"], store=store)
+        assert store.stats()["graph_builds"] == builds_after_first
+        assert factory.total_misses == misses_after_first
+        assert factory.total_hits > 0
+
+    def test_full_sweep_shares_instances_across_experiments(self):
+        factory = _RecordingFactory()
+        store = GraphStore(oracle_factory=factory)
+        stats = {}
+        run_all(TINY, store=store, stats=stats)
+        cells = len(stats["executed"])
+        # Strictly fewer instances than cells: experiments pooled graphs.
+        assert 0 < stats["store"]["graph_builds"] < cells
+        assert stats["store"]["graph_hits"] > 0
+        assert stats["store"]["bfs_hits"] > 0
+
+    def test_store_on_vs_off_identical_markdown(self):
+        baseline = run_all(TINY, only=["EXP-1", "EXP-6"])
+        shared = run_all(TINY, only=["EXP-1", "EXP-6"], store=GraphStore())
+        assert render_markdown(shared) == render_markdown(baseline)
+
+
+class TestJobsParityWithCache:
+    def test_jobs_with_graph_cache_bitwise_identical_to_serial(self, tmp_path):
+        config = TINY.scaled(sizes=[48])
+        serial = run_all(config, only=["EXP-1", "EXP-8"], jobs=1)
+        parallel = run_all(
+            config,
+            only=["EXP-1", "EXP-8"],
+            jobs=2,
+            graph_cache=tmp_path / "cache",
+        )
+        assert render_markdown(parallel) == render_markdown(serial)
+        # The workers spilled their warmed instances for later runs.
+        assert list((tmp_path / "cache").glob("*.npz"))
+
+    def test_serial_graph_cache_spills_and_reloads(self, tmp_path):
+        cache = tmp_path / "cache"
+        stats1 = {}
+        first = run_all(TINY, only=["EXP-1"], graph_cache=cache, stats=stats1)
+        assert stats1["store"]["spill_saves"] > 0
+
+        stats2 = {}
+        second = run_all(TINY, only=["EXP-1"], graph_cache=cache, stats=stats2)
+        assert render_markdown(second) == render_markdown(first)
+        # The second run loaded every instance's BFS arrays from the spill
+        # instead of recomputing them.
+        assert stats2["store"]["spill_loads"] == stats2["store"]["graph_builds"]
+        assert stats2["store"]["bfs_preloaded"] > 0
+        assert stats2["store"]["bfs_misses"] == 0

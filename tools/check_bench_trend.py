@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Benchmark trend gate: fail CI on a >30% speedup regression.
+
+Compares the *freshly measured* records a benchmark run just appended to
+``BENCH_routing.json`` against the *committed baseline* (the file as of a
+git ref, default ``HEAD`` — i.e. exactly what the repository claimed before
+this run).  For every benchmark kind (``routing_engine`` lane-vs-scalar,
+``next_local_many`` batched-vs-loop) and every problem size measured by
+both, the fresh speedup must not fall below ``(1 - tolerance)`` times the
+baseline speedup.
+
+The baseline is the *median* per size over the baseline file's most recent
+records (up to ``--baseline-window`` per kind and size), so one historically
+lucky run cannot ratchet the gate above what the hardware sustains; the
+fresh value is the latest record of the current file.  Absolute thresholds
+live in the benchmarks themselves — this gate only watches the trend.
+
+Usage (CI runs it right after the benchmark step)::
+
+    python tools/check_bench_trend.py [--path BENCH_routing.json]
+        [--baseline-ref HEAD] [--tolerance 0.30]
+
+Exit status 0 = trend ok (or nothing comparable), 1 = regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_routing.json"
+
+
+def load_runs(text: str):
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return []
+    if not isinstance(data, dict) or data.get("schema_version") != 1:
+        return []
+    return data.get("runs", [])
+
+
+def baseline_text(path: Path, ref: str) -> str:
+    """The file's content at *ref* (empty when git or the ref is unavailable)."""
+    try:
+        repo_root = Path(
+            subprocess.check_output(
+                ["git", "rev-parse", "--show-toplevel"],
+                cwd=path.parent,
+                text=True,
+                stderr=subprocess.DEVNULL,
+            ).strip()
+        )
+        rel = path.resolve().relative_to(repo_root)
+        return subprocess.check_output(
+            ["git", "show", f"{ref}:{rel.as_posix()}"],
+            cwd=repo_root,
+            text=True,
+            stderr=subprocess.DEVNULL,
+        )
+    except (subprocess.CalledProcessError, FileNotFoundError, ValueError):
+        return ""
+
+
+def runs_by_kind(runs):
+    """Group records per benchmark kind, preserving append order.
+
+    Records written before the ``benchmark`` field existed are
+    ``routing_engine`` measurements.
+    """
+    per_kind = defaultdict(list)
+    for run in runs:
+        per_kind[run.get("benchmark", "routing_engine")].append(run)
+    return per_kind
+
+
+def speedups_by_size(kind_runs, window: int = 0):
+    """``{n: [speedups...]}`` over *kind_runs*, newest last.
+
+    *window* keeps only the last N records (0 = all).
+    """
+    out = defaultdict(list)
+    if window:
+        kind_runs = kind_runs[-window:]
+    for run in kind_runs:
+        for result in run.get("results", []):
+            if "n" in result and "speedup" in result:
+                out[int(result["n"])].append(float(result["speedup"]))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
+    parser.add_argument("--baseline-ref", default="HEAD")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument(
+        "--baseline-window",
+        type=int,
+        default=5,
+        help="baseline = median over this many most-recent committed records",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.path.is_file():
+        print(f"trend gate: {args.path} does not exist; nothing to check")
+        return 0
+    current_kinds = runs_by_kind(load_runs(args.path.read_text()))
+    committed_kinds = runs_by_kind(load_runs(baseline_text(args.path, args.baseline_ref)))
+    if not committed_kinds:
+        print("trend gate: no committed baseline records; skipping (first run?)")
+        return 0
+
+    failures = []
+    compared = 0
+    for kind, baseline_runs in sorted(committed_kinds.items()):
+        # The file is append-only, so everything past the committed record
+        # count is what this benchmark run actually measured — committed
+        # history must never be compared against itself.
+        fresh_runs = current_kinds.get(kind, [])[len(baseline_runs):]
+        fresh_sizes = speedups_by_size(fresh_runs)
+        if not fresh_sizes:
+            print(f"  {kind:>16}: no fresh records this run; skipped")
+            continue
+        baseline_sizes = speedups_by_size(baseline_runs, window=args.baseline_window)
+        for n, speedups in sorted(baseline_sizes.items()):
+            fresh_all = fresh_sizes.get(n)
+            if not fresh_all:
+                continue  # size not measured this run (e.g. smoke vs full)
+            baseline = statistics.median(speedups)
+            fresh = fresh_all[-1]
+            floor = (1.0 - args.tolerance) * baseline
+            status = "ok" if fresh >= floor else "REGRESSION"
+            compared += 1
+            print(
+                f"  {kind:>16} n={n:>6}: fresh {fresh:6.2f}x vs baseline "
+                f"{baseline:6.2f}x (floor {floor:.2f}x) {status}"
+            )
+            if fresh < floor:
+                failures.append((kind, n, fresh, baseline))
+    if not compared:
+        print("trend gate: no overlapping (benchmark, n) records; skipping")
+        return 0
+    if failures:
+        print(
+            f"trend gate: {len(failures)} regression(s) beyond "
+            f"{args.tolerance:.0%} of the committed baseline"
+        )
+        return 1
+    print(f"trend gate: {compared} comparison(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
