@@ -1,0 +1,39 @@
+"""Shared BENCH_routing.json recorder for the benchmark suite.
+
+Every perf benchmark (routing engines, batched ``next_local`` builders, the
+BFS engine's high-diameter rows) appends its measurements to the same
+append-only ``BENCH_routing.json`` at the repository root, keyed by a
+``benchmark`` kind, so ``tools/check_bench_trend.py`` can gate each kind's
+speedup trajectory against the committed baseline and CI can upload one
+artifact with the whole perf history.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_routing.json"
+
+
+def append_record(results, *, benchmark: str, mode: str, config: dict) -> None:
+    """Append one benchmark record, preserving the existing trajectory."""
+    data = {"schema_version": 1, "runs": []}
+    if RESULTS_PATH.exists():
+        try:
+            loaded = json.loads(RESULTS_PATH.read_text())
+            if isinstance(loaded, dict) and loaded.get("schema_version") == 1:
+                data = loaded
+        except json.JSONDecodeError:
+            pass  # corrupt file: start a fresh trajectory rather than crash
+    data["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "benchmark": benchmark,
+            "mode": mode,
+            "config": config,
+            "results": results,
+        }
+    )
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")

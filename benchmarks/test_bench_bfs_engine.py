@@ -7,14 +7,27 @@ the performance contract (the engine must win by a wide margin — the issue's
 acceptance bar is 10x on an n=50k grid; the smaller benchmark size here keeps
 the suite fast while still exercising the same code paths).
 
+``test_high_diameter_direction_optimized`` adds the ring/path rows the
+direction-optimizing engine targets: batched sweeps on high-diameter
+instances, measured against both the legacy BFS (recorded to
+``BENCH_routing.json`` under the ``bfs_engine_highdiam`` kind and
+trend-gated by ``tools/check_bench_trend.py``) and the pre-direction-
+optimizing engine (the CSR top-down kernel, still in the code as the
+hub-graph fallback), with a >= 2x acceptance gate on the latter.
+
 Run the acceptance-scale comparison manually with::
 
     PYTHONPATH=src python benchmarks/test_bench_bfs_engine.py
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
+from bench_recording import append_record
+from repro.graphs import frontier as frontier_module
 from repro.graphs import generators
 from repro.graphs.distances import legacy_bfs_distances
 from repro.graphs.frontier import bfs_distances_many
@@ -76,6 +89,96 @@ def test_engine_beats_legacy(bench_graph):
     assert t_engine * 5 < t_legacy, (
         f"frontier engine {t_engine:.3f}s not clearly faster than legacy {t_legacy:.3f}s"
     )
+
+
+#: High-diameter instances: (family, n, batched sources).  Smoke keeps CI
+#: fast; BENCH_ROUTING_FULL=1 runs the ROADMAP-scale 25k instances.
+_HIGHDIAM_SMOKE = [("ring", 8192, 32), ("path", 8191, 32)]
+_HIGHDIAM_FULL = [("ring", 8192, 32), ("path", 8191, 32), ("ring", 25000, 64), ("path", 24999, 64)]
+
+
+def _highdiam_graph(family: str, n: int):
+    return generators.cycle_graph(n) if family == "ring" else generators.path_graph(n)
+
+
+def _pre_direction_optimized(graph, sources):
+    """The committed pre-PR engine: CSR top-down only, no direction switch.
+
+    The CSR gather kernel is still in the engine as the hub-graph fallback;
+    forcing the knobs (on a fresh graph, so no memoised pad leaks in) runs
+    exactly the old per-level pass, giving an in-process baseline that is
+    robust to machine speed.
+    """
+    saved = {
+        name: getattr(frontier_module, name)
+        for name in ("_PAD_SLOT_BLOWUP", "_BOTTOM_UP_RATIO", "_SPARSE_FRONTIER_PADDED")
+    }
+    frontier_module._PAD_SLOT_BLOWUP = -1.0
+    frontier_module._BOTTOM_UP_RATIO = 0
+    frontier_module._SPARSE_FRONTIER_PADDED = frontier_module._SPARSE_FRONTIER
+    try:
+        return bfs_distances_many(graph, sources)
+    finally:
+        for name, value in saved.items():
+            setattr(frontier_module, name, value)
+
+
+def test_high_diameter_direction_optimized():
+    """Ring/path batched BFS: record vs legacy, gate >= 2x vs the old engine."""
+    cases = (
+        _HIGHDIAM_FULL
+        if os.environ.get("BENCH_ROUTING_FULL", "") == "1"
+        else _HIGHDIAM_SMOKE
+    )
+    results = []
+    for family, n, num_sources in cases:
+        sources = list(range(0, n, max(1, n // num_sources)))[:num_sources]
+        engine_best = baseline_best = float("inf")
+        engine_block = baseline_block = None
+        for _ in range(3):
+            graph = _highdiam_graph(family, n)  # fresh: no memoised pad
+            t0 = time.perf_counter()
+            baseline_block = _pre_direction_optimized(graph, sources)
+            baseline_best = min(baseline_best, time.perf_counter() - t0)
+            graph.derived_cache().clear()
+            t0 = time.perf_counter()
+            engine_block = bfs_distances_many(graph, sources)
+            engine_best = min(engine_best, time.perf_counter() - t0)
+        np.testing.assert_array_equal(engine_block, baseline_block)
+        t0 = time.perf_counter()
+        legacy = [legacy_bfs_distances(graph, s) for s in sources[:8]]
+        legacy_seconds = (time.perf_counter() - t0) * (len(sources) / 8)
+        for row, arr in enumerate(legacy):
+            np.testing.assert_array_equal(engine_block[row], arr)
+        baseline_speedup = baseline_best / engine_best
+        results.append(
+            {
+                "n": n,
+                "family": family,
+                "sources": len(sources),
+                "engine_seconds": round(engine_best, 4),
+                "baseline_seconds": round(baseline_best, 4),
+                "baseline_speedup": round(baseline_speedup, 2),
+                "legacy_seconds": round(legacy_seconds, 4),
+                "speedup": round(legacy_seconds / engine_best, 2),
+            }
+        )
+        print(
+            f"\nbatched BFS on {family} n={n} ({len(sources)} sources): "
+            f"engine {engine_best:.4f}s, pre-PR engine {baseline_best:.4f}s "
+            f"({baseline_speedup:.2f}x), legacy ~{legacy_seconds:.3f}s "
+            f"({legacy_seconds / engine_best:.1f}x)"
+        )
+    append_record(
+        results,
+        benchmark="bfs_engine_highdiam",
+        mode="full" if os.environ.get("BENCH_ROUTING_FULL", "") == "1" else "smoke",
+        config={"families": "ring/path", "note": "batched sweep, best of 3"},
+    )
+    # The issue's acceptance bar: the direction-optimizing engine must beat
+    # the committed pre-PR engine by >= 2x on every high-diameter instance.
+    for row in results:
+        assert row["baseline_speedup"] >= 2.0, results
 
 
 def main():  # pragma: no cover - manual acceptance run

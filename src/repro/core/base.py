@@ -143,15 +143,20 @@ class AugmentationScheme(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def sample_all_contacts(self, rng: RngLike = None) -> np.ndarray:
-        """Sample one contact per node; entries are node ids or ``NO_CONTACT``."""
+        """Sample one contact per node; entries are node ids or ``NO_CONTACT``.
+
+        Delegates to :meth:`sample_contacts` over ``arange(n)``, so schemes
+        with native vectorized samplers serve :meth:`AugmentedGraph.from_scheme`
+        and :func:`repro.routing.engine.materialize_contact_table` callers
+        through the batched path instead of one Python round-trip per node.
+        (For schemes on the scalar fallback this is draw-for-draw identical
+        to the historical per-node loop; native samplers consume the
+        generator differently — equal in distribution, as per the batched
+        sampling contract.)
+        """
         generator = ensure_rng(rng) if rng is not None else self._rng
-        n = self._graph.num_nodes
-        out = np.full(n, NO_CONTACT, dtype=np.int64)
-        for u in range(n):
-            contact = self.sample_contact(u, generator)
-            if contact is not None:
-                out[u] = int(contact)
-        return out
+        nodes = np.arange(self._graph.num_nodes, dtype=np.int64)
+        return self.sample_contacts(nodes, generator)
 
     def describe(self) -> str:
         """One-line human-readable description (overridable)."""

@@ -1,21 +1,46 @@
-"""Vectorized, level-synchronous BFS engine over CSR graphs.
+"""Vectorized, direction-optimizing, level-synchronous BFS over CSR graphs.
 
 Every quantity the reproduction measures — greedy diameters, expected step
 counts ``E(φ, s, t)``, ball sizes for the Theorem-4 scheme — reduces to BFS
 distances, so this module is the hot core everything else builds on.  Instead
 of popping one node at a time from a ``deque``, the engine expands the whole
-frontier of a level at once with numpy primitives:
+frontier of a level at once with numpy primitives, and **picks an expansion
+kernel per level** based on the frontier's size relative to the remaining
+unvisited set:
 
-1. gather the CSR neighbour ranges of every frontier node in one shot
-   (``np.repeat`` over range starts + a flat ``arange`` offset trick),
-2. drop already-visited neighbours with a mask lookup,
-3. de-duplicate the survivors (``np.unique``) to obtain the next frontier and
-   stamp their distance.
+* **sparse** — frontiers of a handful of nodes are expanded with a scalar
+  loop; the fixed per-level cost of any numpy pass exceeds the ~1µs/edge
+  scalar cost when only a few edges are scanned.
+* **top-down, padded** — the workhorse.  Neighbour gathering runs over a
+  *self-padded* adjacency table ``pad[u] = [CSR neighbours of u, then u
+  itself]`` of shape ``(n, max_degree)``: one 2-D ``take`` replaces the whole
+  ``repeat``/``cumsum``/``arange`` CSR gather, and the padding slots cost
+  nothing downstream because they point back at the (always already visited)
+  owner and fall to the visited mask.  Only built when padding cannot blow
+  the slot count up much beyond the true arc count — i.e. for the
+  low-degree-variance families (paths, rings, grids, tori, trees) whose
+  25k-level sweeps used to be bounded by the fixed cost of the ~20 numpy
+  calls the CSR gather needs per level.  Roughly halves the per-level cost,
+  which is exactly the regime the ROADMAP flagged for ring/path topologies.
+* **top-down, CSR** — the original gather (``np.repeat`` over range starts +
+  a flat ``arange`` offset trick) for hub-dominated graphs (stars, lollipop
+  heads) where padding is rejected.
+* **bottom-up** — when the frontier is a large fraction of the *remaining
+  unvisited* set (the mid-sweep levels of expanders and dense random
+  graphs), the engine flips direction: instead of scanning every frontier
+  edge it scans each unvisited node's neighbours for one at the previous
+  level.  That bounds the level's work by the unvisited side, which the
+  trigger guarantees is the smaller one — the same level-synchronous-rounds
+  economics CONGEST-style algorithms exploit.
 
-Because BFS distances are independent of intra-level visit order, the result
-is bitwise identical to the classic queue-based traversal; the property tests
-in ``tests/graphs/test_frontier.py`` assert exactly that on random graphs,
-trees, grids and disconnected graphs.
+Because BFS distances are independent of intra-level visit order, every
+kernel stamps the same levels and the result is bitwise identical to the
+classic queue-based traversal; the property tests in
+``tests/graphs/test_frontier.py`` assert exactly that on random graphs,
+trees, grids and disconnected graphs, for every kernel forced individually.
+(:func:`frontier_bfs_tree` is the one traversal whose *parent* output does
+depend on discovery order; it therefore keeps its first-discoverer top-down
+pass unconditionally.)
 
 The batched variant :func:`bfs_distances_many` runs ``k`` sources
 *simultaneously* by operating on flattened ``(row, node)`` keys in a single
@@ -47,10 +72,31 @@ UNREACHABLE: int = -1
 #: Frontiers at or below this size are expanded with a scalar loop instead of
 #: the vectorized gather: the fixed per-level cost of the numpy path (~15µs)
 #: exceeds the ~1µs/edge scalar cost when only a handful of edges are scanned.
-#: This adaptive switch is what keeps the engine competitive on high-diameter
-#: graphs (paths, rings) whose frontiers never grow past a few nodes, while
-#: meshes, expanders and batched sweeps take the vectorized path.
+#: The padded top-down kernel has less than half the CSR gather's fixed cost,
+#: so where it applies the scalar loop only wins on even tinier frontiers —
+#: the long wind-down tails of ring/path sweeps sit exactly in the 9..32 band
+#: where the scalar loop used to cost 3-4x the lean kernel.
 _SPARSE_FRONTIER: int = 32
+_SPARSE_FRONTIER_PADDED: int = 8
+
+#: The self-padded adjacency is built only when ``n * max_degree`` stays
+#: within this factor of the true arc count (plus a small-graph slack) —
+#: low-degree-variance families.  Beyond it (hubs, high-variance random
+#: graphs) the padded slots the kernel would scan outnumber the real edges
+#: enough that the exact CSR gather wins despite its higher fixed cost.
+_PAD_SLOT_BLOWUP: float = 1.5
+
+#: Direction switch: a level runs bottom-up when
+#: ``frontier_size * _BOTTOM_UP_RATIO > unvisited`` (the unvisited side is
+#: then the cheaper one to scan) *and* the frontier is at least
+#: ``total_keys >> _BOTTOM_UP_MIN_SHIFT`` (so the one-off ``O(k·n)`` pass
+#: that materialises the unvisited key set is amortised by the level's
+#: work).  Tests monkeypatch both to force the bottom-up kernel everywhere.
+_BOTTOM_UP_RATIO: int = 1
+_BOTTOM_UP_MIN_SHIFT: int = 4
+
+#: graph.derived_cache() key of the memoised self-padded adjacency.
+_PAD_CACHE_KEY = "frontier_padded_neighbors"
 
 
 def _check_cutoff(cutoff: Optional[int]) -> Optional[int]:
@@ -84,6 +130,51 @@ def _gather_neighbors(
     return indices[pos], counts
 
 
+def _padded_neighbors(graph: Graph) -> Optional[np.ndarray]:
+    """Slot-major padded *delta* adjacency ``(max_degree, n)``, or ``None``.
+
+    ``pad[j, u]`` is ``v - u`` for ``u``'s ``j``-th CSR neighbour ``v``, and
+    ``0`` in the padding slots.  Two properties make this the cheapest
+    possible gather for the frontier kernels:
+
+    * **deltas**: a neighbour's flat key is ``key(u) + (v - u)`` for any row
+      offset, so one row-wise broadcast add over the gathered delta block
+      turns node ids into batched keys — no per-entry row-offset column
+      (numpy's broadcast machinery is several times slower when the
+      broadcast axis is the tiny inner one).
+    * **self-padding**: a padding slot (delta 0) yields the owner's own key,
+      which is always already visited (distance stamped), so the pads vanish
+      under the exact same visited mask that filters real revisits — no
+      sentinel handling at all.
+
+    Built only when ``n * max_degree`` stays near the true arc count (see
+    :data:`_PAD_SLOT_BLOWUP`) and memoised on the graph's
+    :meth:`~repro.graphs.graph.Graph.derived_cache` (graphs are immutable),
+    so the table is built once per instance no matter how many sweeps run
+    over it.
+    """
+    cache = graph.derived_cache()
+    if _PAD_CACHE_KEY in cache:
+        return cache[_PAD_CACHE_KEY]
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    degrees = np.diff(indptr)
+    dmax = int(degrees.max()) if n and indices.size else 0
+    pad: Optional[np.ndarray]
+    if dmax == 0 or n * dmax > _PAD_SLOT_BLOWUP * indices.size + 64:
+        pad = None
+    else:
+        pad = np.zeros((dmax, n), dtype=np.int64)
+        owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        slot_in_node = np.arange(indices.size, dtype=np.int64) - np.repeat(
+            indptr[:-1], degrees
+        )
+        pad[slot_in_node, owner] = indices - owner
+    cache[_PAD_CACHE_KEY] = pad
+    return pad
+
+
 def _dedupe(keys: np.ndarray, claim: np.ndarray) -> np.ndarray:
     """Drop duplicate *keys* without sorting.
 
@@ -112,6 +203,157 @@ def _dedupe_first(keys: np.ndarray, claim: np.ndarray) -> np.ndarray:
     return claim[keys] == slots
 
 
+def _bottom_up_level(
+    graph: Graph, rows: int, dist: np.ndarray, cand: np.ndarray,
+    pad: Optional[np.ndarray], level: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bottom-up step: scan the *unvisited* keys for a parent at ``level - 1``.
+
+    *cand* holds the unvisited candidate keys (positive degree); each joins
+    the new frontier iff any of its neighbours sits at the previous level.
+    Returns ``(frontier, remaining_candidates)`` with the frontier stamped.
+    The padding keys read the candidate's own (unvisited) distance and can
+    never equal ``level - 1 >= 0``, so the padded form needs no masking here
+    either.
+    """
+    n = graph.num_nodes
+    nodes = cand % n if rows > 1 else cand
+    if pad is not None:
+        nbrs = pad.take(nodes, axis=1)
+        nbrs += cand  # delta block -> flat keys, one row-wise broadcast
+        found = (dist.take(nbrs.ravel()) == level - 1).reshape(nbrs.shape).any(axis=0)
+    else:
+        neighbors, counts = _gather_neighbors(graph.indptr, graph.indices, nodes)
+        if rows > 1:
+            neighbor_keys = np.repeat(cand - nodes, counts) + neighbors
+        else:
+            neighbor_keys = neighbors
+        match = dist.take(neighbor_keys) == level - 1
+        # counts >= 1 for every candidate (degree-0 keys were filtered when
+        # the set was built), so the exclusive prefix offsets are strictly
+        # increasing and reduceat sees no empty segment.
+        offsets = np.cumsum(counts) - counts
+        found = np.logical_or.reduceat(match, offsets)
+    frontier = cand[found]
+    dist[frontier] = level
+    return frontier, cand[~found]
+
+
+def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int]) -> np.ndarray:
+    """Level-synchronous sweep over flat ``row * n + node`` keys.
+
+    The shared core of :func:`frontier_multi_source_bfs` (one row, many
+    seeds) and :func:`bfs_distances_many` (one row per source): owns the flat
+    ``rows·n`` distance buffer and makes the per-level kernel choice
+    described in the module docstring.  The body is one flat loop with
+    hoisted locals on purpose — on a 25k-level ring sweep even attribute
+    lookups and method dispatch are measurable against the ~10µs levels.
+
+    All kernels stamp identical levels (BFS distances are intra-level
+    order-independent), so the per-level choice can never change the output
+    bitwise.
+    """
+    n = graph.num_nodes
+    total = rows * n
+    multi = rows > 1
+    indptr = graph.indptr
+    indices = graph.indices
+    dist = np.full(total, UNREACHABLE, dtype=np.int64)
+    dist[frontier] = 0
+    dist_take = dist.take
+    unvisited = total - frontier.size
+    bu_cand: Optional[np.ndarray] = None  # unvisited key set while bottom-up
+    pad = _padded_neighbors(graph)
+    sparse_limit = _SPARSE_FRONTIER if pad is None else _SPARSE_FRONTIER_PADDED
+    claim: Optional[np.ndarray] = None
+    slots_buf: Optional[np.ndarray] = None
+    min_bu = total >> _BOTTOM_UP_MIN_SHIFT
+    level = 0
+    while frontier.size and (cutoff is None or level < cutoff):
+        level += 1
+        f = frontier.size
+        # --- direction switch -------------------------------------------- #
+        if bu_cand is not None:
+            if f * _BOTTOM_UP_RATIO > bu_cand.size:
+                frontier, bu_cand = _bottom_up_level(graph, rows, dist, bu_cand, pad, level)
+                continue
+            unvisited = int(bu_cand.size)  # revert: the frontier stays exact
+            bu_cand = None
+        elif f * _BOTTOM_UP_RATIO > unvisited and f >= min_bu:
+            # Materialise the unvisited key set (one O(rows·n) pass,
+            # amortised by the trigger's minimum-frontier-size guard);
+            # degree-0 keys can never be discovered and are dropped for good.
+            cand = np.nonzero(dist == UNREACHABLE)[0]
+            degrees = np.diff(indptr)
+            bu_cand = cand[degrees.take(cand % n if multi else cand) > 0]
+            frontier, bu_cand = _bottom_up_level(graph, rows, dist, bu_cand, pad, level)
+            continue
+        # --- top-down kernels -------------------------------------------- #
+        if f <= sparse_limit:
+            # Tiny frontier: plain Python loop, distances stamped (and
+            # thereby deduplicated) as we go.
+            nxt: list = []
+            append = nxt.append
+            for key in frontier.tolist():
+                node = key % n
+                base = key - node
+                for v in indices[indptr[node]: indptr[node + 1]].tolist():
+                    nbr_key = base + v
+                    if dist[nbr_key] == UNREACHABLE:
+                        dist[nbr_key] = level
+                        append(nbr_key)
+            frontier = np.asarray(nxt, dtype=np.int64)
+        else:
+            if pad is not None:
+                # Lean kernel: one slot-major take over the padded *delta*
+                # adjacency gathers every frontier entry's neighbour column,
+                # and a single row-wise broadcast add turns the deltas into
+                # flat keys.  The visited mask then drops padding keys (the
+                # visited owners) and real revisits together, and one
+                # scatter/gather claim pass keeps each distinct survivor
+                # once.  Less than half the numpy calls of the CSR gather,
+                # which is what lifts the high-diameter (ring/path) sweeps
+                # whose cost is all per-level fixed overhead.
+                nodes = frontier % n if multi else frontier
+                nbrs = pad.take(nodes, axis=1)
+                nbrs += frontier
+                flat = nbrs.ravel()
+                sel = flat[dist_take(flat) == UNREACHABLE]
+                m = sel.size
+                if slots_buf is None or slots_buf.size < m:
+                    slots_buf = np.arange(
+                        max(m, 4 * f * pad.shape[0], 1024), dtype=np.int64
+                    )
+                slots = slots_buf[:m]
+                if claim is None:
+                    claim = np.empty(total, dtype=np.int64)
+                claim[sel] = slots
+                frontier = sel[claim.take(sel) == slots]
+                dist[frontier] = level
+            else:
+                # Reference kernel: exact CSR gather (hub-dominated graphs
+                # where padding was rejected).
+                if multi:
+                    nodes = frontier % n
+                    row_base = frontier - nodes  # row * n, carried to neighbours
+                else:
+                    nodes = frontier
+                neighbors, counts = _gather_neighbors(indptr, indices, nodes)
+                if neighbors.size == 0:
+                    break
+                if multi:
+                    neighbor_keys = np.repeat(row_base, counts) + neighbors
+                else:
+                    neighbor_keys = neighbors
+                neighbor_keys = neighbor_keys[dist[neighbor_keys] == UNREACHABLE]
+                if claim is None:
+                    claim = np.empty(total, dtype=np.int64)
+                frontier = _dedupe(neighbor_keys, claim)
+                dist[frontier] = level
+        unvisited -= frontier.size
+    return dist
+
+
 def frontier_bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
     """Vectorized BFS distances *and* parent pointers from *source*.
 
@@ -121,7 +363,10 @@ def frontier_bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray
     :mod:`repro.graphs.distances`): within a level the frontier is expanded in
     discovery order with CSR-ordered neighbour lists, and the
     first-occurrence dedup keeps the earliest discoverer of every node —
-    exactly the node that would have popped first from the deque.
+    exactly the node that would have popped first from the deque.  Unlike the
+    distance-only sweeps, parent pointers *do* depend on that discovery
+    order, so this traversal never takes the bottom-up kernel (which visits
+    candidates in key order, not discovery order) and stays top-down.
     """
     source = check_node_index(source, graph.num_nodes, "source")
     n = graph.num_nodes
@@ -179,38 +424,11 @@ def frontier_multi_source_bfs(
     """Distance from each node to the *nearest* of the given sources."""
     cutoff = _check_cutoff(cutoff)
     n = graph.num_nodes
-    indptr = graph.indptr
-    indices = graph.indices
-    dist = np.full(n, UNREACHABLE, dtype=np.int64)
     seeds = [check_node_index(int(s), n, "source") for s in sources]
     if not seeds:
-        return dist
+        return np.full(n, UNREACHABLE, dtype=np.int64)
     frontier = np.unique(np.asarray(seeds, dtype=np.int64))
-    dist[frontier] = 0
-    claim: Optional[np.ndarray] = None
-    level = 0
-    while frontier.size and (cutoff is None or level < cutoff):
-        level += 1
-        if frontier.size <= _SPARSE_FRONTIER:
-            # Scalar expansion: cheaper than the numpy fixed cost on tiny
-            # frontiers.  Distances are stamped as we go, which also
-            # deduplicates within the level.
-            nxt: list = []
-            append = nxt.append
-            for u in frontier.tolist():
-                for v in indices[indptr[u]: indptr[u + 1]].tolist():
-                    if dist[v] == UNREACHABLE:
-                        dist[v] = level
-                        append(v)
-            frontier = np.asarray(nxt, dtype=np.int64)
-        else:
-            neighbors, _ = _gather_neighbors(indptr, indices, frontier)
-            neighbors = neighbors[dist[neighbors] == UNREACHABLE]
-            if claim is None:
-                claim = np.empty(n, dtype=np.int64)
-            frontier = _dedupe(neighbors, claim)
-            dist[frontier] = level
-    return dist
+    return _sweep(graph, 1, frontier, cutoff)
 
 
 def bfs_distances_many(
@@ -224,53 +442,20 @@ def bfs_distances_many(
     All sources advance level-synchronously in the same numpy pass by encoding
     the per-source state as flat keys ``row * n + node`` into a shared
     ``k·n`` distance buffer.  One iteration of the loop expands the combined
-    frontier of *every* source, so the per-level Python overhead is amortised
-    across the whole batch — the speedup over ``k`` sequential queue BFS runs
-    on a 50k-node grid is two orders of magnitude (see
-    ``benchmarks/test_bench_bfs_engine.py``).
+    frontier of *every* source — with the per-level kernel switch described in
+    the module docstring — so the per-level Python overhead is amortised
+    across the whole batch; on high-diameter instances (rings, paths) the
+    padded top-down kernel roughly halves the fixed per-level cost on top of
+    that (see ``benchmarks/test_bench_bfs_engine.py``).
 
     Duplicate sources are allowed and each row is an independent BFS, bitwise
     identical to ``bfs_distances(graph, s, cutoff=cutoff)`` for its source.
     """
     cutoff = _check_cutoff(cutoff)
     n = graph.num_nodes
-    indptr = graph.indptr
-    indices = graph.indices
     seeds = np.asarray([check_node_index(int(s), n, "source") for s in sources], dtype=np.int64)
     k = seeds.size
-    dist = np.full(k * n, UNREACHABLE, dtype=np.int64)
     if k == 0 or n == 0:
-        return dist.reshape(k, n)
+        return np.full((k, n), UNREACHABLE, dtype=np.int64)
     frontier_keys = np.arange(k, dtype=np.int64) * n + seeds
-    dist[frontier_keys] = 0
-    claim: Optional[np.ndarray] = None
-    level = 0
-    while frontier_keys.size and (cutoff is None or level < cutoff):
-        level += 1
-        if frontier_keys.size <= _SPARSE_FRONTIER:
-            # Scalar expansion of a tiny combined frontier (see
-            # _SPARSE_FRONTIER); keys decompose as row * n + node.
-            nxt: list = []
-            append = nxt.append
-            for key in frontier_keys.tolist():
-                node = key % n
-                base = key - node
-                for v in indices[indptr[node]: indptr[node + 1]].tolist():
-                    nbr_key = base + v
-                    if dist[nbr_key] == UNREACHABLE:
-                        dist[nbr_key] = level
-                        append(nbr_key)
-            frontier_keys = np.asarray(nxt, dtype=np.int64)
-        else:
-            nodes = frontier_keys % n
-            row_base = frontier_keys - nodes  # row * n, carried to the neighbours
-            neighbors, counts = _gather_neighbors(indptr, indices, nodes)
-            if neighbors.size == 0:
-                break
-            neighbor_keys = np.repeat(row_base, counts) + neighbors
-            neighbor_keys = neighbor_keys[dist[neighbor_keys] == UNREACHABLE]
-            if claim is None:
-                claim = np.empty(k * n, dtype=np.int64)
-            frontier_keys = _dedupe(neighbor_keys, claim)
-            dist[frontier_keys] = level
-    return dist.reshape(k, n)
+    return _sweep(graph, k, frontier_keys, cutoff).reshape(k, n)

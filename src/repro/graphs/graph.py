@@ -44,7 +44,7 @@ class Graph:
         sortedness and absence of self-loops.
     """
 
-    __slots__ = ("_indptr", "_indices", "_name", "_num_edges")
+    __slots__ = ("_indptr", "_indices", "_name", "_num_edges", "_derived")
 
     def __init__(
         self,
@@ -66,6 +66,7 @@ class Graph:
         self._indices = indices
         self._name = str(name)
         self._num_edges = int(indices.size // 2)
+        self._derived = {}
         if validate:
             self._validate()
 
@@ -176,6 +177,31 @@ class Graph:
     def degrees(self) -> np.ndarray:
         """Array of all node degrees."""
         return np.diff(self._indptr)
+
+    def derived_cache(self) -> dict:
+        """Memo dict for structures derived from the (immutable) adjacency.
+
+        The frontier engine parks its self-padded neighbour table here so it
+        is built once per graph instance, not once per sweep.  The cache is
+        identity-scoped scratch state, not part of the graph's value: it is
+        dropped when the graph is pickled (workers rebuild lazily) and never
+        compared by ``same_structure``.
+        """
+        return self._derived
+
+    def __getstate__(self) -> Tuple[np.ndarray, np.ndarray, str]:
+        # Exclude the derived-structure cache: it can be many times larger
+        # than the CSR arrays and is cheap to rebuild lazily on the other
+        # side of the pickle (e.g. in a ProcessPoolExecutor worker).
+        return (self._indptr, self._indices, self._name)
+
+    def __setstate__(self, state: Tuple[np.ndarray, np.ndarray, str]) -> None:
+        indptr, indices, name = state
+        self._indptr = indptr
+        self._indices = indices
+        self._name = name
+        self._num_edges = int(indices.size // 2)
+        self._derived = {}
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge."""

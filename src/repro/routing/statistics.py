@@ -1,15 +1,120 @@
-"""Summary statistics for Monte-Carlo routing estimates."""
+"""Summary statistics for Monte-Carlo routing estimates.
+
+The 95% confidence interval in :func:`summarize` uses the **Student-t**
+quantile for the sample's actual degrees of freedom, not the asymptotic
+z-value 1.96: at the sweep pipeline's default ``trials=16`` the correct
+multiplier is ``t_{0.975, 15} ≈ 2.131``, so the old normal approximation made
+every reported interval ~8% too narrow (and much worse for the quick-sweep
+configs with a handful of trials).  The quantile is computed in pure
+numpy/python — a bisection on the regularized incomplete beta function — so
+the library keeps its numpy-only dependency footprint.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["SummaryStats", "summarize", "bootstrap_mean_ci"]
+__all__ = ["SummaryStats", "summarize", "bootstrap_mean_ci", "student_t_quantile"]
+
+
+def _beta_cont_fraction(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's algorithm)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta ``I_x(a, b)`` (numpy-only)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # Use the continued fraction on the side where it converges fast.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cont_fraction(a, b, x) / a
+    return 1.0 - front * _beta_cont_fraction(b, a, 1.0 - x) / b
+
+
+@lru_cache(maxsize=None)
+def student_t_quantile(p: float, df: int) -> float:
+    """Two-sided-friendly Student-t quantile ``t`` with ``P(T <= t) = p``.
+
+    Pure numpy/python inversion of the t CDF (regularized incomplete beta +
+    bisection), accurate to ~1e-10 — e.g. ``student_t_quantile(0.975, 15)``
+    is 2.1314, the multiplier :func:`summarize` needs at ``trials = 16``.
+    Only ``p >= 0.5`` is supported (confidence-interval use).
+    """
+    if not 0.5 <= p < 1.0:
+        raise ValueError("p must lie in [0.5, 1)")
+    df = int(df)
+    if df < 1:
+        raise ValueError("df must be at least 1")
+    if p == 0.5:
+        return 0.0
+
+    def cdf(t: float) -> float:
+        # P(T <= t) = 1 - I_{df/(df+t^2)}(df/2, 1/2) / 2 for t >= 0.
+        return 1.0 - 0.5 * _betainc(df / 2.0, 0.5, df / (df + t * t))
+
+    lo, hi = 0.0, 2.0
+    while cdf(hi) < p:  # bracket the quantile (heavy tails at df=1 need room)
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - p astronomically close to 1
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
 
 
 @dataclass(frozen=True)
@@ -37,13 +142,21 @@ class SummaryStats:
 
 
 def summarize(samples: Sequence[float]) -> SummaryStats:
-    """Summary of *samples* with a normal-approximation 95% CI on the mean."""
+    """Summary of *samples* with a Student-t 95% CI on the mean.
+
+    The half-width is ``t_{0.975, n-1} * std / sqrt(n)`` — the exact small-n
+    interval under the normality approximation, converging to the familiar
+    ``1.96`` multiplier as ``n`` grows.
+    """
     arr = np.asarray(list(samples), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarise an empty sample")
     mean = float(arr.mean())
     std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
-    half = 1.96 * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    if arr.size > 1:
+        half = student_t_quantile(0.975, int(arr.size) - 1) * std / math.sqrt(arr.size)
+    else:
+        half = 0.0
     return SummaryStats(
         mean=mean,
         std=std,
@@ -55,6 +168,11 @@ def summarize(samples: Sequence[float]) -> SummaryStats:
     )
 
 
+#: Cap on the ``num_resamples × n`` index matrix one batched bootstrap draw
+#: materialises; larger problems fall back to chunked draws (same stream).
+_BOOTSTRAP_BATCH_ELEMENTS: int = 8_000_000
+
+
 def bootstrap_mean_ci(
     samples: Sequence[float],
     *,
@@ -62,16 +180,26 @@ def bootstrap_mean_ci(
     confidence: float = 0.95,
     seed: RngLike = None,
 ) -> Tuple[float, float]:
-    """Bootstrap confidence interval for the mean of *samples*."""
+    """Bootstrap confidence interval for the mean of *samples*.
+
+    The resampling runs as one batched draw — a single
+    ``(num_resamples, n)`` integer matrix and one vectorized row-mean —
+    instead of a Python loop of ``num_resamples`` generator round-trips
+    (~30x fewer numpy calls at the default 1000 resamples).  Chunked when the
+    index matrix would be unreasonably large; the generator stream is
+    consumed identically either way, so results are seed-deterministic.
+    """
     arr = np.asarray(list(samples), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot bootstrap an empty sample")
     if not (0.0 < confidence < 1.0):
         raise ValueError("confidence must lie in (0, 1)")
     rng = ensure_rng(seed)
+    chunk = max(1, _BOOTSTRAP_BATCH_ELEMENTS // max(1, int(arr.size)))
     means = np.empty(num_resamples)
-    for i in range(num_resamples):
-        resample = rng.choice(arr, size=arr.size, replace=True)
-        means[i] = resample.mean()
+    for start in range(0, num_resamples, chunk):
+        stop = min(start + chunk, num_resamples)
+        idx = rng.integers(0, arr.size, size=(stop - start, arr.size))
+        means[start:stop] = arr[idx].mean(axis=1)
     alpha = (1.0 - confidence) / 2.0
     return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))

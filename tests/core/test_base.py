@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.base import NO_CONTACT, AugmentedGraph
+from repro.core.base import NO_CONTACT, AugmentationScheme, AugmentedGraph
 from repro.core.uniform import UniformScheme
 from repro.graphs import generators
 from repro.graphs.graph import Graph
@@ -81,3 +81,65 @@ class TestAugmentedGraph:
         aug = AugmentedGraph(path8, np.zeros(8, dtype=np.int64))
         with pytest.raises(ValueError):
             aug.contacts[0] = 3
+
+
+class TestSampleAllContactsDelegation:
+    """sample_all_contacts must route through the batched sampler."""
+
+    def test_scalar_fallback_is_draw_for_draw_identical_to_old_loop(self, cycle12):
+        """For schemes without a native batched sampler the delegation keeps
+        the historical per-node stream (the base ``sample_contacts`` loops
+        ``sample_contact`` in node order)."""
+
+        class HalfScheme(AugmentationScheme):
+            scheme_name = "half"
+
+            def sample_contact(self, node, rng=None):
+                generator = rng if rng is not None else self._rng
+                if generator.random() < 0.5:
+                    return None
+                return int(generator.integers(self._graph.num_nodes))
+
+        scheme = HalfScheme(cycle12, seed=0)
+        got = scheme.sample_all_contacts(np.random.default_rng(11))
+        reference = np.full(cycle12.num_nodes, NO_CONTACT, dtype=np.int64)
+        generator = np.random.default_rng(11)
+        for u in range(cycle12.num_nodes):
+            contact = scheme.sample_contact(u, generator)
+            if contact is not None:
+                reference[u] = int(contact)
+        np.testing.assert_array_equal(got, reference)
+
+    def test_native_batched_sampler_is_used(self, cycle12):
+        """A scheme with a vectorized sampler serves the eager path batched."""
+
+        class CountingScheme(AugmentationScheme):
+            scheme_name = "counting"
+            batched_calls = 0
+            scalar_calls = 0
+
+            def sample_contact(self, node, rng=None):
+                type(self).scalar_calls += 1
+                return None
+
+            def sample_contacts(self, nodes, rng=None):
+                type(self).batched_calls += 1
+                nodes = self._coerce_batch(nodes)
+                return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+
+        scheme = CountingScheme(cycle12, seed=1)
+        out = scheme.sample_all_contacts()
+        assert out.shape == (cycle12.num_nodes,)
+        assert CountingScheme.batched_calls == 1
+        assert CountingScheme.scalar_calls == 0
+
+    def test_from_scheme_valid_contacts_for_all_builtin_schemes(self, cycle12):
+        from repro.core.registry import available_schemes, make_scheme
+
+        for name in available_schemes():
+            scheme = make_scheme(name, cycle12, seed=5)
+            aug = AugmentedGraph.from_scheme(scheme, rng=6)
+            contacts = aug.contacts
+            assert contacts.shape == (cycle12.num_nodes,)
+            linked = contacts[contacts != NO_CONTACT]
+            assert np.all((linked >= 0) & (linked < cycle12.num_nodes))

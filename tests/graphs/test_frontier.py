@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.graphs import frontier as frontier_module
 from repro.graphs import generators
 from repro.graphs.distances import (
     UNREACHABLE,
@@ -25,6 +26,40 @@ from repro.graphs.frontier import (
     frontier_multi_source_bfs,
 )
 from repro.graphs.graph import Graph
+
+#: Knob settings that force each of the direction-optimizing engine's
+#: kernels onto (almost) every level, so the bitwise-equality tests pin all
+#: of them individually — not just whichever the heuristics would pick.
+KERNEL_CONFIGS = {
+    "padded": {"_PAD_SLOT_BLOWUP": 1e9, "_SPARSE_FRONTIER_PADDED": 0, "_BOTTOM_UP_RATIO": 0},
+    "csr": {"_PAD_SLOT_BLOWUP": -1.0, "_SPARSE_FRONTIER": 0, "_BOTTOM_UP_RATIO": 0},
+    "sparse": {
+        "_SPARSE_FRONTIER": 10**9, "_SPARSE_FRONTIER_PADDED": 10**9, "_BOTTOM_UP_RATIO": 0,
+    },
+    "bottom_up_padded": {
+        "_PAD_SLOT_BLOWUP": 1e9, "_BOTTOM_UP_RATIO": 10**9, "_BOTTOM_UP_MIN_SHIFT": 63,
+    },
+    "bottom_up_csr": {
+        "_PAD_SLOT_BLOWUP": -1.0, "_BOTTOM_UP_RATIO": 10**9, "_BOTTOM_UP_MIN_SHIFT": 63,
+    },
+}
+
+
+class _forced_kernel:
+    """Context manager pinning the engine's per-level choice to one kernel."""
+
+    def __init__(self, name):
+        self.overrides = KERNEL_CONFIGS[name]
+        self.saved = {}
+
+    def __enter__(self):
+        for attr, value in self.overrides.items():
+            self.saved[attr] = getattr(frontier_module, attr)
+            setattr(frontier_module, attr, value)
+
+    def __exit__(self, *exc):
+        for attr, value in self.saved.items():
+            setattr(frontier_module, attr, value)
 
 
 def legacy_multi_source(graph, sources):
@@ -160,6 +195,128 @@ class TestBatchedEquivalence:
             np.testing.assert_array_equal(
                 block[row], legacy_bfs_distances(graph, source, cutoff=cutoff)
             )
+
+
+class TestDirectionOptimizedKernels:
+    """Every kernel of the per-level switch is bitwise-equal to the legacy BFS.
+
+    The engine picks top-down (sparse scalar / padded lean / CSR gather) or
+    bottom-up per level; distances are intra-level order-independent, so all
+    kernels must produce identical arrays.  These tests force each kernel via
+    the module knobs and pin it to ``legacy_bfs_distances`` across the whole
+    graph portfolio, including cutoff truncation and duplicate batched
+    sources.  The padded-adjacency memo is cleared per configuration so a
+    table built under one knob setting never leaks into another.
+    """
+
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_CONFIGS))
+    @pytest.mark.parametrize("graph", graph_portfolio(), ids=lambda g: g.name)
+    def test_batched_rows_match_legacy(self, kernel, graph):
+        sources = list(range(graph.num_nodes)) + [0, graph.num_nodes - 1] if graph.num_nodes else []
+        if not sources:
+            return
+        graph.derived_cache().clear()
+        with _forced_kernel(kernel):
+            block = bfs_distances_many(graph, sources)
+        for row, source in enumerate(sources):
+            np.testing.assert_array_equal(block[row], legacy_bfs_distances(graph, source))
+
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_CONFIGS))
+    @pytest.mark.parametrize("graph", graph_portfolio(), ids=lambda g: g.name)
+    def test_cutoff_matches_legacy(self, kernel, graph):
+        sources = list(range(0, graph.num_nodes, 3))
+        if not sources:
+            return
+        for cutoff in (0, 1, 2, 4):
+            graph.derived_cache().clear()
+            with _forced_kernel(kernel):
+                block = bfs_distances_many(graph, sources, cutoff=cutoff)
+            for row, source in enumerate(sources):
+                np.testing.assert_array_equal(
+                    block[row], legacy_bfs_distances(graph, source, cutoff=cutoff)
+                )
+
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_CONFIGS))
+    def test_high_diameter_batched(self, kernel):
+        for graph in (generators.cycle_graph(300), generators.path_graph(301)):
+            sources = list(range(0, graph.num_nodes, 37))
+            graph.derived_cache().clear()
+            with _forced_kernel(kernel):
+                block = bfs_distances_many(graph, sources)
+            for row, source in enumerate(sources):
+                np.testing.assert_array_equal(block[row], legacy_bfs_distances(graph, source))
+
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_CONFIGS))
+    def test_multi_source_matches_reference(self, kernel):
+        for graph in graph_portfolio():
+            if graph.num_nodes < 3:
+                continue
+            sources = [0, graph.num_nodes // 2, graph.num_nodes - 1]
+            graph.derived_cache().clear()
+            with _forced_kernel(kernel):
+                got = frontier_multi_source_bfs(graph, sources)
+            np.testing.assert_array_equal(got, legacy_multi_source(graph, sources))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), graph=random_graphs())
+    def test_random_graphs_all_kernels_property(self, data, graph):
+        kernel = data.draw(st.sampled_from(sorted(KERNEL_CONFIGS)))
+        sources = data.draw(
+            st.lists(st.integers(0, graph.num_nodes - 1), min_size=1, max_size=6)
+        )
+        cutoff = data.draw(st.one_of(st.none(), st.integers(0, 6)))
+        graph.derived_cache().clear()
+        with _forced_kernel(kernel):
+            block = bfs_distances_many(graph, sources, cutoff=cutoff)
+        for row, source in enumerate(sources):
+            np.testing.assert_array_equal(
+                block[row], legacy_bfs_distances(graph, source, cutoff=cutoff)
+            )
+
+    def test_duplicate_sources_under_forced_bottom_up(self):
+        graph = generators.grid_graph([5, 6])
+        with _forced_kernel("bottom_up_padded"):
+            block = bfs_distances_many(graph, [3, 3, 17, 3])
+        np.testing.assert_array_equal(block[0], block[1])
+        np.testing.assert_array_equal(block[0], block[3])
+        np.testing.assert_array_equal(block[0], legacy_bfs_distances(graph, 3))
+        np.testing.assert_array_equal(block[2], legacy_bfs_distances(graph, 17))
+
+    def test_heuristic_choice_equals_forced_reference(self):
+        # Whatever mix of kernels the real heuristics pick, the output must
+        # equal the pure-CSR reference (the pre-direction-optimizing engine).
+        for graph in (
+            generators.cycle_graph(400),
+            generators.erdos_renyi_graph(300, 0.02, seed=7, connect=False),
+            generators.grid_graph([12, 13]),
+        ):
+            sources = list(range(0, graph.num_nodes, 11))
+            auto = bfs_distances_many(graph, sources)
+            graph.derived_cache().clear()
+            with _forced_kernel("csr"):
+                reference = bfs_distances_many(graph, sources)
+            np.testing.assert_array_equal(auto, reference)
+
+    def test_padded_adjacency_memoised_and_unpickled_lazily(self):
+        import pickle
+
+        graph = generators.cycle_graph(64)
+        bfs_distances_many(graph, [0, 5])  # builds + memoises the pad
+        assert frontier_module._PAD_CACHE_KEY in graph.derived_cache()
+        clone = pickle.loads(pickle.dumps(graph))
+        # The derived cache is scratch state, not value: it must not travel.
+        assert clone.derived_cache() == {}
+        np.testing.assert_array_equal(
+            bfs_distances_many(clone, [0, 5]), bfs_distances_many(graph, [0, 5])
+        )
+
+    def test_hub_graph_rejects_padding(self):
+        graph = generators.star_graph(400)
+        graph.derived_cache().clear()
+        np.testing.assert_array_equal(
+            frontier_bfs(graph, 3), legacy_bfs_distances(graph, 3)
+        )
+        assert graph.derived_cache()[frontier_module._PAD_CACHE_KEY] is None
 
 
 class TestPublicWrappers:

@@ -53,3 +53,65 @@ class TestBootstrap:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             bootstrap_mean_ci([])
+
+
+class TestStudentTQuantile:
+    def test_matches_published_tables(self):
+        from repro.routing.statistics import student_t_quantile
+
+        known = {
+            (0.975, 1): 12.706204736,
+            (0.975, 2): 4.302652730,
+            (0.975, 5): 2.570581836,
+            (0.975, 15): 2.131449546,
+            (0.975, 30): 2.042272456,
+            (0.95, 10): 1.812461123,
+        }
+        for (p, df), want in known.items():
+            assert abs(student_t_quantile(p, df) - want) < 1e-6
+
+    def test_converges_to_z_for_large_df(self):
+        from repro.routing.statistics import student_t_quantile
+
+        assert abs(student_t_quantile(0.975, 100000) - 1.959964) < 1e-3
+
+    def test_invalid_arguments_rejected(self):
+        from repro.routing.statistics import student_t_quantile
+
+        with pytest.raises(ValueError):
+            student_t_quantile(0.2, 5)
+        with pytest.raises(ValueError):
+            student_t_quantile(0.975, 0)
+
+    def test_summarize_uses_t_not_z(self):
+        """Regression: at trials=16 the old z-based CI was ~8% too narrow."""
+        samples = list(range(16))
+        stats = summarize(samples)
+        arr = np.asarray(samples, dtype=float)
+        std = arr.std(ddof=1)
+        t_half = 2.131449546 * std / np.sqrt(16)
+        z_half = 1.96 * std / np.sqrt(16)
+        assert abs((stats.ci95_high - stats.ci95_low) / 2 - t_half) < 1e-9
+        assert stats.ci95_high - stats.ci95_low > 2 * z_half
+
+
+class TestVectorizedBootstrap:
+    def test_chunked_draw_matches_single_batch(self):
+        """The chunk boundary must not change the generator stream."""
+        import repro.routing.statistics as statistics_module
+
+        samples = np.arange(50, dtype=float)
+        whole = bootstrap_mean_ci(samples, num_resamples=200, seed=9)
+        old_cap = statistics_module._BOOTSTRAP_BATCH_ELEMENTS
+        statistics_module._BOOTSTRAP_BATCH_ELEMENTS = 50 * 64  # force chunking
+        try:
+            chunked = bootstrap_mean_ci(samples, num_resamples=200, seed=9)
+        finally:
+            statistics_module._BOOTSTRAP_BATCH_ELEMENTS = old_cap
+        assert whole == chunked
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean_ci(rng.normal(0, 1, 20), seed=4)
+        large = bootstrap_mean_ci(rng.normal(0, 1, 2000), seed=4)
+        assert (large[1] - large[0]) < (small[1] - small[0])
