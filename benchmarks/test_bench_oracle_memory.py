@@ -1,0 +1,118 @@
+"""Benchmark: oracle resident memory under a byte budget (``oracle_memory``).
+
+Warms a ring-graph :class:`~repro.graphs.oracle.DistanceOracle` with more
+distance rows than its ``max_bytes`` budget can hold resident, so the tiered
+cache must spill cold rows to its memory-mapped backing file, then asserts
+the two contracts the million-node sweep depends on:
+
+* **memory**: ``resident_bytes()`` never exceeds the budget, and
+* **correctness**: every cached row still matches the ring's closed-form
+  distance ``min((i - s) % n, (s - i) % n)`` — spilling and promotion must
+  not corrupt a single value (the closed form makes this checkable at
+  ``n = 10**6`` without re-running BFS).
+
+Each measured size appends a ``bytes_per_node`` record to
+``BENCH_routing.json`` under the ``oracle_memory`` kind;
+``tools/check_bench_trend.py`` gates it with a lower-is-better ceiling.
+
+The default run measures the 50k smoke size.  ``BENCH_ROUTING_FULL=1`` adds
+the ISSUE acceptance point — a million-node ring warmed past a 512 MiB
+budget::
+
+    BENCH_ROUTING_FULL=1 PYTHONPATH=src python -m pytest \
+        benchmarks/test_bench_oracle_memory.py -q -s
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from bench_recording import append_record
+from repro.graphs import generators
+from repro.graphs.oracle import DistanceOracle
+
+_MIB = 1024 * 1024
+
+#: Measured (n, max_bytes) points.  Budgets are sized well below the warmed
+#: working set so the cold tier genuinely engages.
+_SMOKE_POINTS = [(50_000, 8 * _MIB)]
+_FULL_POINTS = [(50_000, 8 * _MIB), (1_000_000, 512 * _MIB)]
+
+
+def _full() -> bool:
+    return os.environ.get("BENCH_ROUTING_FULL", "") == "1"
+
+
+def _ring_reference_row(n: int, source: int) -> np.ndarray:
+    """Closed-form single-source distances on the n-cycle."""
+    idx = np.arange(n, dtype=np.int64)
+    forward = (idx - source) % n
+    return np.minimum(forward, n - forward)
+
+
+def _measure_point(n: int, budget: int) -> dict:
+    graph = generators.cycle_graph(n)
+    oracle = DistanceOracle(graph, max_bytes=budget)
+    row_nbytes = oracle._dtype.itemsize * n
+    # ~15% more rows than fit resident: the cold tier must absorb the rest.
+    warm = int(budget // row_nbytes * 1.15) + 4
+    step = max(1, n // warm)
+    sources = list(range(0, n, step))[:warm]
+    oracle.prefetch(sources)
+
+    assert oracle.resident_bytes() <= budget, (
+        f"n={n}: resident {oracle.resident_bytes()} bytes exceeds the "
+        f"{budget}-byte budget"
+    )
+    assert oracle.cold_spills > 0, f"n={n}: budget never engaged the cold tier"
+
+    # Re-reading promotes rows back and forth across the tiers; values must
+    # stay exact and the budget must keep holding throughout.
+    for source in sources[:: max(1, len(sources) // 8)]:
+        np.testing.assert_array_equal(
+            np.asarray(oracle.distances_from(source), dtype=np.int64),
+            _ring_reference_row(n, source),
+        )
+        assert oracle.resident_bytes() <= budget
+
+    stats = oracle.memory_stats()
+    bytes_per_node = stats["resident_bytes"] / n
+    print(
+        f"  oracle_memory n={n}: {len(sources)} rows warmed, "
+        f"{stats['resident_bytes']} resident / {budget} budget bytes "
+        f"({bytes_per_node:.1f} bytes/node), {stats['cold_entries']} cold, "
+        f"{oracle.cold_spills} spill(s), {oracle.cold_promotions} promotion(s)"
+    )
+    return {
+        "n": n,
+        "bytes_per_node": round(bytes_per_node, 3),
+        "budget_bytes": budget,
+        "resident_bytes": stats["resident_bytes"],
+        "rows_warmed": len(sources),
+        "cold_spills": oracle.cold_spills,
+    }
+
+
+def test_oracle_memory_under_budget():
+    """Resident memory stays under ``max_bytes`` while values stay exact."""
+    points = _FULL_POINTS if _full() else _SMOKE_POINTS
+    results = [_measure_point(n, budget) for n, budget in points]
+    append_record(
+        results,
+        benchmark="oracle_memory",
+        mode="full" if _full() else "smoke",
+        config={"family": "ring", "points": [list(p) for p in points]},
+    )
+
+
+@pytest.mark.skipif(not _full(), reason="BENCH_ROUTING_FULL=1 runs the 10^6 acceptance point")
+def test_million_node_acceptance_budget():
+    """The ISSUE acceptance bar: n=10^6 under a 512 MiB oracle budget."""
+    result = _measure_point(1_000_000, 512 * _MIB)
+    assert result["resident_bytes"] <= 512 * _MIB
+
+
+if __name__ == "__main__":  # manual acceptance-scale run
+    os.environ["BENCH_ROUTING_FULL"] = "1"
+    test_oracle_memory_under_budget()

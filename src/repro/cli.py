@@ -8,8 +8,11 @@ Four subcommands cover the library's day-to-day uses without writing Python:
 * ``repro experiment`` — run one or all of the paper's experiments
   (``--jobs`` fans the sweep's cells out over processes, ``--out`` persists
   per-cell JSON artifacts, ``--resume`` skips already-computed cells,
-  ``--graph-cache`` spills the GraphStore's BFS arrays so graph instances
-  are shared across workers and runs, ``--stats`` reports its hit rates).
+  ``--shard`` drains ``--out`` as one worker of a lease-coordinated
+  multi-process queue, ``--graph-cache`` spills the GraphStore's BFS arrays
+  so graph instances are shared across workers and runs,
+  ``--oracle-max-bytes`` byte-budgets the distance oracles' resident memory,
+  ``--stats`` reports hit rates and memory use).
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -17,13 +20,17 @@ Invoke as ``python -m repro <subcommand> ...``.
 from __future__ import annotations
 
 import argparse
+import os
+import re
 import sys
+import tempfile
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.tables import format_table
 from repro.core.registry import available_schemes, make_scheme
 from repro.decomposition.pathshape import estimate_pathshape
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.lease import DEFAULT_LEASE_TTL
 from repro.experiments.runner import EXPERIMENT_MODULES, render_markdown, run_all
 from repro.graphs import generators
 from repro.graphs.distances import diameter
@@ -47,6 +54,47 @@ GRAPH_FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
     "watts-strogatz": lambda n, seed: generators.watts_strogatz_graph(max(8, n), 4, 0.1, seed=seed),
     "erdos-renyi": lambda n, seed: generators.erdos_renyi_graph(n, min(1.0, 4.0 / max(1, n)), seed=seed),
 }
+
+
+#: Multipliers for ``--oracle-max-bytes`` size suffixes (binary units).
+_SIZE_SUFFIXES = {"": 1, "B": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+
+
+def parse_byte_size(text: str) -> int:
+    """Parse a byte-budget string: plain bytes or K/M/G binary suffixes.
+
+    Accepts ``"536870912"``, ``"512M"``, ``"1G"``, ``"64K"`` (optionally with
+    a trailing ``B``, any case).  Raises ``argparse.ArgumentTypeError`` so
+    argparse renders a clean usage error instead of a traceback.
+    """
+    match = re.fullmatch(r"\s*(\d+)\s*([KkMmGg]?)[Bb]?\s*", text)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte size {text!r} (expected e.g. 536870912, 64K, 512M or 1G)"
+        )
+    value = int(match.group(1)) * _SIZE_SUFFIXES[match.group(2).upper()]
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"byte size must be positive, got {text!r}")
+    return value
+
+
+def _ensure_writable_dir(path: str, flag: str) -> Optional[str]:
+    """Create *path* if needed and prove it is writable; error string or None.
+
+    The probe creates (and removes) a real temporary file: permission bits
+    via ``os.access`` lie for privileged users and say nothing about
+    read-only mounts, while an actual ``open`` cannot be argued with.
+    """
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        return f"cannot create {flag} directory {path!r}: {exc}"
+    try:
+        with tempfile.NamedTemporaryFile(dir=path, prefix=".writable-"):
+            pass
+    except OSError as exc:
+        return f"{flag} directory {path!r} is not writable: {exc}"
+    return None
 
 
 def _make_graph(family: str, size: int, seed: int) -> Graph:
@@ -128,10 +176,24 @@ def _cmd_route(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
     config = config.scaled(engine=args.engine)
+    if args.sizes:
+        config = config.scaled(sizes=list(args.sizes))
     only = args.only if args.only else None
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 1
     if args.resume and not args.out:
         print("--resume requires --out (the artifact directory to resume from)", file=sys.stderr)
         return 1
+    if args.shard and not args.out:
+        print("--shard requires --out (the artifact directory to drain)", file=sys.stderr)
+        return 1
+    for path, flag in ((args.out, "--out"), (args.graph_cache, "--graph-cache")):
+        if path:
+            error = _ensure_writable_dir(path, flag)
+            if error is not None:
+                print(error, file=sys.stderr)
+                return 1
     stats: dict = {}
     try:
         results = run_all(
@@ -143,6 +205,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             resume=args.resume,
             graph_cache=args.graph_cache,
             stats=stats,
+            shard=args.shard,
+            lease_ttl=args.lease_ttl,
+            oracle_max_bytes=args.oracle_max_bytes,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -174,6 +239,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             f"{store.get('spill_rejected', 0)} rejected",
             file=sys.stderr,
         )
+        resident = int(store.get("oracle_resident_bytes", 0))
+        nodes = int(store.get("oracle_nodes", 0))
+        per_node = resident / nodes if nodes else 0.0
+        memory = (
+            f"oracle memory: {resident} resident byte(s) over {nodes} node(s) "
+            f"({per_node:.1f} bytes/node)"
+        )
+        try:
+            import resource
+        except ImportError:  # pragma: no cover - resource is POSIX-only
+            pass
+        else:
+            # ru_maxrss is KiB on Linux.
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+            memory += f"; peak RSS: {peak} byte(s)"
+        print(memory, file=sys.stderr)
     return 0
 
 
@@ -232,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--quick", action="store_true", help="use the small benchmark configuration")
     p_exp.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
     p_exp.add_argument("--jobs", type=int, default=1, help="worker processes for the cell sweep")
+    p_exp.add_argument(
+        "--sizes",
+        nargs="+",
+        type=int,
+        help="override the configuration's graph sizes (e.g. --sizes 50000 1000000)",
+    )
     p_exp.add_argument("--out", help="directory to persist per-cell JSON artifacts in")
     p_exp.add_argument(
         "--resume",
@@ -239,16 +326,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cells whose artifact already exists in --out (same config only)",
     )
     p_exp.add_argument(
+        "--shard",
+        action="store_true",
+        help=(
+            "drain --out as one worker of a multi-process queue: cells are "
+            "claimed via atomic .lease files, so independently started shard "
+            "processes split the sweep and each assembles the full report"
+        ),
+    )
+    p_exp.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="age after which another shard may take over an untouched lease",
+    )
+    p_exp.add_argument(
         "--graph-cache",
         help=(
-            "directory for the GraphStore's fingerprint-checked .npz BFS spill "
-            "(shares graph instances across --jobs workers and across runs)"
+            "directory for the GraphStore's fingerprint-checked raw .spill "
+            "files (memory-mapped on reload; shares graph instances across "
+            "--jobs workers, --shard processes and across runs)"
+        ),
+    )
+    p_exp.add_argument(
+        "--oracle-max-bytes",
+        type=parse_byte_size,
+        metavar="BYTES",
+        help=(
+            "byte budget for each distance oracle's resident memory "
+            "(e.g. 512M or 1G); colder rows spill to a memory-mapped file"
         ),
     )
     p_exp.add_argument(
         "--stats",
         action="store_true",
-        help="print GraphStore cache-hit statistics to stderr after the sweep",
+        help="print GraphStore cache-hit and memory statistics to stderr after the sweep",
     )
     p_exp.add_argument(
         "--engine",

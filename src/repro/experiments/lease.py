@@ -1,0 +1,119 @@
+"""Claim/lease files: an artifact directory as a multi-process work queue.
+
+The sweep's resume protocol already makes a cell's artifact the durable
+record of completed work (``--out`` + ``--resume``).  This module adds the
+*claim* half: before computing a cell, a ``--shard`` worker atomically
+creates ``<artifact>.lease`` (``O_CREAT | O_EXCL`` — the filesystem is the
+arbiter, no server, no locks), computes, persists the artifact, and releases
+the lease.  Independent processes — or machines sharing the directory over a
+network filesystem — drain one artifact directory concurrently: every cell
+is computed by exactly one worker in the common case, and the assembled
+report is bitwise-identical to a serial run because cell payloads are pure
+functions of ``(experiment, family, n, config)``.
+
+Crashed workers must not wedge the queue, so leases carry a TTL: a lease
+whose file is older than ``ttl`` seconds is *stale* and may be taken over.
+Takeover is itself race-free — the contender first renames the stale lease
+to a private name (exactly one renamer wins; the loser sees
+``FileNotFoundError`` and retries the normal path) and only then creates a
+fresh lease.  The worst case on TTL expiry of a *live* worker is a benign
+double-compute: payloads are deterministic and artifact writes are atomic
+renames, so the two writers agree bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "lease_path",
+    "try_acquire",
+    "refresh",
+    "release",
+]
+
+#: Default seconds before an untouched lease counts as abandoned.
+DEFAULT_LEASE_TTL = 300.0
+
+
+def lease_path(artifact: Union[str, Path]) -> Path:
+    """The lease file guarding *artifact* (sibling, ``.lease`` suffix added)."""
+    artifact = Path(artifact)
+    return artifact.with_name(artifact.name + ".lease")
+
+
+def _owner_payload(owner: Optional[str]) -> bytes:
+    payload = {
+        "owner": owner if owner is not None else f"{socket.gethostname()}:{os.getpid()}",
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "acquired_at": time.time(),
+    }
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _create_exclusive(path: Path, owner: Optional[str]) -> bool:
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, _owner_payload(owner))
+    finally:
+        os.close(fd)
+    return True
+
+
+def try_acquire(
+    artifact: Union[str, Path],
+    *,
+    ttl: float = DEFAULT_LEASE_TTL,
+    owner: Optional[str] = None,
+) -> bool:
+    """Try to claim *artifact*'s cell; ``True`` iff this caller now holds it.
+
+    Fast path: an ``O_CREAT | O_EXCL`` create of the lease file — atomic on
+    every POSIX filesystem, so exactly one contender wins.  If the lease
+    already exists but its mtime is older than *ttl* seconds, stale-lease
+    takeover runs: rename it to a private name (one winner; losers get
+    ``FileNotFoundError`` and report the cell as held) and create a fresh
+    lease.  The parent directory must exist.
+    """
+    path = lease_path(artifact)
+    if _create_exclusive(path, owner):
+        return True
+    try:
+        age = time.time() - path.stat().st_mtime
+    except FileNotFoundError:
+        # Holder released between our create attempt and the stat: retry once.
+        return _create_exclusive(path, owner)
+    if age <= ttl:
+        return False
+    # Stale: exactly one contender wins the rename; the fresh create below
+    # can still lose to a third racer, which is a plain "held" answer.
+    private = path.with_name(f"{path.name}.stale.{os.getpid()}.{id(path)}")
+    try:
+        os.rename(path, private)
+    except FileNotFoundError:
+        return _create_exclusive(path, owner)
+    try:
+        private.unlink()
+    except FileNotFoundError:  # pragma: no cover - best-effort cleanup
+        pass
+    return _create_exclusive(path, owner)
+
+
+def refresh(artifact: Union[str, Path]) -> None:
+    """Touch the lease so a long-running cell does not look abandoned."""
+    os.utime(lease_path(artifact))
+
+
+def release(artifact: Union[str, Path]) -> None:
+    """Drop the lease (idempotent; missing files are fine)."""
+    lease_path(artifact).unlink(missing_ok=True)

@@ -16,8 +16,8 @@ into an explicit pipeline:
    experiment id), so the second and later experiments over a given instance
    perform zero graph builds and zero repeat BFS sweeps — with
    ``graph_cache`` the store also spills its BFS/``next_local`` arrays to
-   fingerprint-checked ``.npz`` files that pool the work across worker
-   processes and across runs,
+   fingerprint-checked raw ``.spill`` files (memory-mapped on reload) that
+   pool the work across worker processes and across runs,
 3. each computed cell is persisted as a JSON
    :class:`~repro.analysis.reporting.CellArtifact` (``artifacts_dir``) and a
    resumed sweep (``resume=True``) skips every cell whose artifact already
@@ -31,6 +31,7 @@ into an explicit pipeline:
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -53,8 +54,10 @@ from repro.experiments import (
     exp_trees_atfree,
     exp_uniform,
 )
+from repro.experiments import lease as lease_module
 from repro.experiments.common import OracleFactory
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.lease import DEFAULT_LEASE_TTL
 from repro.graphs.store import GraphStore, process_store
 
 __all__ = [
@@ -129,6 +132,7 @@ def _run_cell_worker(
     n: int,
     config: ExperimentConfig,
     graph_cache: Optional[str] = None,
+    oracle_max_bytes: Optional[int] = None,
 ) -> Tuple[str, str, int, dict]:
     """Process-pool entry point: compute one cell (module-level: picklable).
 
@@ -141,7 +145,7 @@ def _run_cell_worker(
     serves arrays a fresh BFS would reproduce exactly.
     """
     module = _module_by_id(experiment_id)
-    store = process_store(graph_cache)
+    store = process_store(graph_cache, oracle_max_bytes)
     payload = module.run_cell(config, family, n, store=store)
     store.spill()
     return experiment_id, family, n, payload
@@ -179,6 +183,25 @@ class SweepExecutor:
         Explicit :class:`GraphStore` to run on (tests inject counting
         stores).  Stores are not picklable, so setting one forces in-process
         execution; default is a run-wide store spilling to ``graph_cache``.
+    shard:
+        Run as one worker of a multi-process drain of ``artifacts_dir``
+        (requires it; implies resume semantics).  Cells are claimed through
+        atomic ``.lease`` files (see :mod:`repro.experiments.lease`), so any
+        number of shard processes — started independently, even on different
+        machines sharing the directory — compute each cell exactly once in
+        the common case and assemble identical reports.  A shard runs its
+        claimed cells serially in-process; scale by starting more shard
+        processes, not by raising ``jobs``.
+    lease_ttl:
+        Seconds before another shard may take over an untouched lease
+        (crashed-worker recovery).
+    poll_interval:
+        Sleep between drain passes while every remaining cell is leased to
+        some other shard.
+    oracle_max_bytes:
+        Byte budget for every default-constructed oracle (the memory-tiered
+        cache's ``max_bytes``), forwarded to the run's store and to pool
+        workers.
 
     After :meth:`run`, :attr:`executed` and :attr:`skipped` list the cells
     that were computed fresh vs served from artifacts, and :attr:`store` is
@@ -195,20 +218,39 @@ class SweepExecutor:
         oracle_factory: Optional[OracleFactory] = None,
         graph_cache: Optional[Union[str, Path]] = None,
         store: Optional[GraphStore] = None,
+        shard: bool = False,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll_interval: float = 0.1,
+        oracle_max_bytes: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if resume and artifacts_dir is None:
             raise ValueError("resume=True requires an artifacts_dir to resume from")
+        if shard and artifacts_dir is None:
+            raise ValueError("shard=True requires an artifacts_dir to drain")
+        if shard and jobs != 1:
+            raise ValueError(
+                "shard mode runs its claimed cells serially; start more shard "
+                "processes instead of raising jobs"
+            )
         self._config = config
         self._fingerprint = config.fingerprint()
         self._jobs = jobs
         self._artifacts_dir = Path(artifacts_dir) if artifacts_dir is not None else None
         self._resume = resume
+        self._shard = shard
+        self._lease_ttl = float(lease_ttl)
+        self._poll_interval = float(poll_interval)
         self._oracle_factory = oracle_factory
         self._graph_cache = Path(graph_cache) if graph_cache is not None else None
+        self._oracle_max_bytes = oracle_max_bytes
         if store is None:
-            store = GraphStore(spill_dir=self._graph_cache, oracle_factory=oracle_factory)
+            store = GraphStore(
+                spill_dir=self._graph_cache,
+                oracle_factory=oracle_factory,
+                oracle_max_bytes=oracle_max_bytes,
+            )
             self._private_store = True
         else:
             self._private_store = False
@@ -269,13 +311,19 @@ class SweepExecutor:
         for module in modules:
             for family, n in module.cell_keys(self._config):
                 cell = SweepCell(module.EXPERIMENT_ID, family, int(n))
-                if self._resume:
+                # Shard mode defers artifact checks to the drain loop, which
+                # re-checks every pass (other shards finish cells mid-run).
+                if self._resume and not self._shard:
                     payload = self._load_resumable(cell)
                     if payload is not None:
                         payloads[cell.experiment_id][(cell.family, cell.n)] = payload
                         self.skipped.append(cell)
                         continue
                 pending.append(cell)
+
+        if self._shard:
+            self._run_sharded(payloads, pending)
+            return payloads
 
         in_process = (
             self._jobs == 1
@@ -308,6 +356,7 @@ class SweepExecutor:
                         cell.n,
                         self._config,
                         graph_cache,
+                        self._oracle_max_bytes,
                     ): cell
                     for cell in pending
                 }
@@ -316,6 +365,55 @@ class SweepExecutor:
                     _, _, _, payload = future.result()
                     self._finish(payloads, cell, payload)
         return payloads
+
+    def _run_sharded(self, payloads, pending: List[SweepCell]) -> None:
+        """Drain *pending* as one shard of a multi-process work queue.
+
+        Each pass over the remaining cells either loads a finished artifact
+        (another shard — or a prior run — computed it), claims the cell's
+        lease and computes it, or defers it because some live shard holds the
+        lease.  A pass with no progress means everything left is being
+        computed elsewhere, so the shard sleeps briefly before re-polling.
+        The loop terminates because every deferred cell's lease either turns
+        into an artifact, is released (picked up here next pass), or goes
+        stale past the TTL and is taken over.
+        """
+        assert self._artifacts_dir is not None
+        self._artifacts_dir.mkdir(parents=True, exist_ok=True)
+        remaining = list(pending)
+        while remaining:
+            progressed = False
+            deferred: List[SweepCell] = []
+            for cell in remaining:
+                payload = self._load_resumable(cell)
+                if payload is not None:
+                    payloads[cell.experiment_id][(cell.family, cell.n)] = payload
+                    self.skipped.append(cell)
+                    progressed = True
+                    continue
+                apath = artifact_path(
+                    self._artifacts_dir, cell.experiment_id, cell.family, cell.n
+                )
+                if not lease_module.try_acquire(apath, ttl=self._lease_ttl):
+                    deferred.append(cell)
+                    continue
+                try:
+                    module = _module_by_id(cell.experiment_id)
+                    payload = module.run_cell(
+                        self._config,
+                        cell.family,
+                        cell.n,
+                        oracle_factory=self._oracle_factory,
+                        store=self.store,
+                    )
+                    self.store.spill()
+                    self._finish(payloads, cell, payload)
+                finally:
+                    lease_module.release(apath)
+                progressed = True
+            remaining = deferred
+            if remaining and not progressed:
+                time.sleep(self._poll_interval)
 
     def _finish(self, payloads, cell: SweepCell, payload: dict) -> None:
         payloads[cell.experiment_id][(cell.family, cell.n)] = payload
@@ -335,6 +433,9 @@ def run_all(
     graph_cache: Optional[Union[str, Path]] = None,
     store: Optional[GraphStore] = None,
     stats: Optional[dict] = None,
+    shard: bool = False,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    oracle_max_bytes: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run all (or the selected) experiments with one shared configuration.
 
@@ -357,8 +458,8 @@ def run_all(
     oracle_factory:
         Test hook for the per-cell distance oracle (forces in-process runs).
     graph_cache:
-        Directory for the GraphStore's ``.npz`` BFS/next_local spill (shares
-        instances across worker processes and across separate runs).
+        Directory for the GraphStore's BFS/next_local ``.spill`` files
+        (shares instances across worker processes and across separate runs).
     store:
         Explicit :class:`~repro.graphs.store.GraphStore` shared across the
         run's experiments (forces in-process runs; tests inject counting
@@ -367,6 +468,14 @@ def run_all(
     stats:
         Optional dict populated with ``"executed"`` / ``"skipped"`` cell
         lists and the ``"store"`` cache-hit counters.
+    shard:
+        Drain ``artifacts_dir`` as one worker of a lease-coordinated
+        multi-process queue (see :class:`SweepExecutor`); every shard ends
+        with the complete payload set, so each assembles the full report.
+    lease_ttl:
+        Stale-lease takeover threshold for shard mode, in seconds.
+    oracle_max_bytes:
+        Byte budget for default-constructed distance oracles.
     """
     config = config or ExperimentConfig.full()
     modules = select_modules(only)
@@ -378,6 +487,9 @@ def run_all(
         oracle_factory=oracle_factory,
         graph_cache=graph_cache,
         store=store,
+        shard=shard,
+        lease_ttl=lease_ttl,
+        oracle_max_bytes=oracle_max_bytes,
     )
     payloads = executor.run(modules)
     results: Dict[str, ExperimentResult] = {}

@@ -42,6 +42,19 @@ trees, grids and disconnected graphs, for every kernel forced individually.
 depend on discovery order; it therefore keeps its first-discoverer top-down
 pass unconditionally.)
 
+**Dtype discipline.**  All sweep state — the distance buffer, frontier key
+arrays, dedupe claim scratch and parent pointers — runs in ``int32``
+whenever the flat key space ``rows * n`` fits (:func:`bfs_dtype`), which
+halves the resident bytes and memory traffic of every kernel; ``int64`` is
+kept as the reference path for key spaces past ``2**31`` and can be forced
+everywhere via the :data:`_FORCE_INT64` knob (the parity tests assert the
+two paths are value-for-value identical across the kernel portfolio).  The
+bottom-up kernel additionally keeps the *previous frontier* as a bit-packed
+``uint8`` mask (one bit per flat key) so its membership probes touch
+``total / 8`` bytes instead of an 8-byte distance word per neighbour —
+equivalent by construction, because "neighbour at ``level - 1``" is exactly
+"neighbour in the previous frontier".
+
 The batched variant :func:`bfs_distances_many` runs ``k`` sources
 *simultaneously* by operating on flattened ``(row, node)`` keys in a single
 ``k·n`` distance block — one numpy pass per level fills a whole block row
@@ -61,6 +74,7 @@ from repro.utils.validation import check_node_index
 
 __all__ = [
     "UNREACHABLE",
+    "bfs_dtype",
     "frontier_bfs",
     "frontier_bfs_tree",
     "frontier_multi_source_bfs",
@@ -68,6 +82,24 @@ __all__ = [
 ]
 
 UNREACHABLE: int = -1
+
+#: Force every sweep onto the ``int64`` reference path regardless of key
+#: count.  Test hook: the int32/int64 parity tests monkeypatch this to pin
+#: both paths against each other on the same inputs.
+_FORCE_INT64: bool = False
+
+
+def bfs_dtype(num_keys: int) -> np.dtype:
+    """The engine's state dtype for a flat key space of *num_keys* keys.
+
+    ``int32`` whenever every key (and every slot index of the dedupe claim
+    scratch) fits, ``int64`` otherwise or when :data:`_FORCE_INT64` is set.
+    Distance values are bounded by key count, so the same dtype covers the
+    distance buffers too.  Public BFS results inherit this dtype.
+    """
+    if _FORCE_INT64 or num_keys > np.iinfo(np.int32).max:
+        return np.dtype(np.int64)
+    return np.dtype(np.int32)
 
 #: Frontiers at or below this size are expanded with a scalar loop instead of
 #: the vectorized gather: the fixed per-level cost of the numpy path (~15µs)
@@ -130,7 +162,7 @@ def _gather_neighbors(
     return indices[pos], counts
 
 
-def _padded_neighbors(graph: Graph) -> Optional[np.ndarray]:
+def _padded_neighbors(graph: Graph, dtype: np.dtype = np.dtype(np.int32)) -> Optional[np.ndarray]:
     """Slot-major padded *delta* adjacency ``(max_degree, n)``, or ``None``.
 
     ``pad[j, u]`` is ``v - u`` for ``u``'s ``j``-th CSR neighbour ``v``, and
@@ -151,11 +183,17 @@ def _padded_neighbors(graph: Graph) -> Optional[np.ndarray]:
     :data:`_PAD_SLOT_BLOWUP`) and memoised on the graph's
     :meth:`~repro.graphs.graph.Graph.derived_cache` (graphs are immutable),
     so the table is built once per instance no matter how many sweeps run
-    over it.
+    over it.  The table is built in the sweep's state *dtype* (so the
+    in-place delta-to-key broadcast never crosses dtypes); the ``int32``
+    table lives under :data:`_PAD_CACHE_KEY` — the common case — and the
+    rare ``int64`` variant (key spaces past ``2**31``, or the forced
+    reference path) under its own suffixed key.
     """
     cache = graph.derived_cache()
-    if _PAD_CACHE_KEY in cache:
-        return cache[_PAD_CACHE_KEY]
+    dtype = np.dtype(dtype)
+    cache_key = _PAD_CACHE_KEY if dtype == np.dtype(np.int32) else _PAD_CACHE_KEY + ":i64"
+    if cache_key in cache:
+        return cache[cache_key]
     n = graph.num_nodes
     indptr = graph.indptr
     indices = graph.indices
@@ -165,13 +203,13 @@ def _padded_neighbors(graph: Graph) -> Optional[np.ndarray]:
     if dmax == 0 or n * dmax > _PAD_SLOT_BLOWUP * indices.size + 64:
         pad = None
     else:
-        pad = np.zeros((dmax, n), dtype=np.int64)
+        pad = np.zeros((dmax, n), dtype=dtype)
         owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
         slot_in_node = np.arange(indices.size, dtype=np.int64) - np.repeat(
             indptr[:-1], degrees
         )
         pad[slot_in_node, owner] = indices - owner
-    cache[_PAD_CACHE_KEY] = pad
+    cache[cache_key] = pad
     return pad
 
 
@@ -185,7 +223,7 @@ def _dedupe(keys: np.ndarray, claim: np.ndarray) -> np.ndarray:
     entries are only ever read for keys present in the current batch, which
     the scatter just overwrote.
     """
-    slots = np.arange(keys.size, dtype=np.int64)
+    slots = np.arange(keys.size, dtype=claim.dtype)
     claim[keys] = slots
     return keys[claim[keys] == slots]
 
@@ -198,37 +236,69 @@ def _dedupe_first(keys: np.ndarray, claim: np.ndarray) -> np.ndarray:
     (whose last-write-wins order is fine for distances but wrong for parent
     pointers, where the queue traversal assigns the first discoverer).
     """
-    slots = np.arange(keys.size, dtype=np.int64)
+    slots = np.arange(keys.size, dtype=claim.dtype)
     claim[keys[::-1]] = slots[::-1]
     return claim[keys] == slots
 
 
+def _mask_apply(mask: np.ndarray, keys: np.ndarray, set_bits: bool) -> None:
+    """Set (or clear) the bits of *keys* in the packed ``uint8`` *mask*.
+
+    Fully vectorized despite byte-sharing keys: the (unique) keys are sorted
+    so every byte's bits form one contiguous run, OR-merged per byte with one
+    ``bitwise_or.reduceat``, and scattered with unique byte indices — no
+    unbuffered ``ufunc.at`` loop, whose per-element cost would dwarf the
+    distance-gather this mask replaces.
+    """
+    if keys.size == 0:
+        return
+    keys = np.sort(keys, kind="stable")  # radix sort on ints: O(len(keys))
+    byte_idx = keys >> 3
+    bits = np.left_shift(np.uint8(1), (keys & 7).astype(np.uint8))
+    starts = np.flatnonzero(byte_idx[1:] != byte_idx[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), starts))
+    merged = np.bitwise_or.reduceat(bits, starts)
+    owners = byte_idx[starts]
+    if set_bits:
+        mask[owners] |= merged
+    else:
+        mask[owners] &= ~merged
+
+
+def _mask_test(mask: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Per-key membership bits (``uint8`` 0/1) of *keys* in the packed mask."""
+    return (mask.take(keys >> 3) >> (keys & 7).astype(np.uint8)) & np.uint8(1)
+
+
 def _bottom_up_level(
     graph: Graph, rows: int, dist: np.ndarray, cand: np.ndarray,
-    pad: Optional[np.ndarray], level: int,
+    pad: Optional[np.ndarray], level: int, mask: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Bottom-up step: scan the *unvisited* keys for a parent at ``level - 1``.
+    """Bottom-up step: scan the *unvisited* keys for a parent in the previous frontier.
 
     *cand* holds the unvisited candidate keys (positive degree); each joins
-    the new frontier iff any of its neighbours sits at the previous level.
-    Returns ``(frontier, remaining_candidates)`` with the frontier stamped.
-    The padding keys read the candidate's own (unvisited) distance and can
-    never equal ``level - 1 >= 0``, so the padded form needs no masking here
-    either.
+    the new frontier iff any of its neighbours sits at the previous level —
+    and because the previous level's key set *is* the previous frontier, the
+    probe reads the bit-packed frontier *mask* (one bit per flat key,
+    maintained by :func:`_sweep`) instead of an 8-byte distance word per
+    neighbour.  Returns ``(frontier, remaining_candidates)`` with the
+    frontier stamped.  The padding keys read the candidate's own bit, which
+    is 0 (an unvisited key is never in the previous frontier), so the padded
+    form needs no extra masking.
     """
     n = graph.num_nodes
     nodes = cand % n if rows > 1 else cand
     if pad is not None:
         nbrs = pad.take(nodes, axis=1)
         nbrs += cand  # delta block -> flat keys, one row-wise broadcast
-        found = (dist.take(nbrs.ravel()) == level - 1).reshape(nbrs.shape).any(axis=0)
+        found = _mask_test(mask, nbrs.ravel()).reshape(nbrs.shape).any(axis=0)
     else:
         neighbors, counts = _gather_neighbors(graph.indptr, graph.indices, nodes)
         if rows > 1:
             neighbor_keys = np.repeat(cand - nodes, counts) + neighbors
         else:
             neighbor_keys = neighbors
-        match = dist.take(neighbor_keys) == level - 1
+        match = _mask_test(mask, neighbor_keys)
         # counts >= 1 for every candidate (degree-0 keys were filtered when
         # the set was built), so the exclusive prefix offsets are strictly
         # increasing and reduceat sees no empty segment.
@@ -251,19 +321,24 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
 
     All kernels stamp identical levels (BFS distances are intra-level
     order-independent), so the per-level choice can never change the output
-    bitwise.
+    bitwise.  State (distances, frontiers, claim scratch) runs in the dtype
+    :func:`bfs_dtype` picks for the key space — int32 for everything short
+    of ``2**31`` keys — and the value output is dtype-independent.
     """
     n = graph.num_nodes
     total = rows * n
     multi = rows > 1
+    dt = bfs_dtype(total)
     indptr = graph.indptr
     indices = graph.indices
-    dist = np.full(total, UNREACHABLE, dtype=np.int64)
+    dist = np.full(total, UNREACHABLE, dtype=dt)
+    frontier = frontier.astype(dt, copy=False)
     dist[frontier] = 0
     dist_take = dist.take
     unvisited = total - frontier.size
     bu_cand: Optional[np.ndarray] = None  # unvisited key set while bottom-up
-    pad = _padded_neighbors(graph)
+    bu_mask: Optional[np.ndarray] = None  # bit-packed previous frontier (bottom-up only)
+    pad = _padded_neighbors(graph, dt)
     sparse_limit = _SPARSE_FRONTIER if pad is None else _SPARSE_FRONTIER_PADDED
     claim: Optional[np.ndarray] = None
     slots_buf: Optional[np.ndarray] = None
@@ -275,18 +350,35 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
         # --- direction switch -------------------------------------------- #
         if bu_cand is not None:
             if f * _BOTTOM_UP_RATIO > bu_cand.size:
-                frontier, bu_cand = _bottom_up_level(graph, rows, dist, bu_cand, pad, level)
+                prev = frontier
+                frontier, bu_cand = _bottom_up_level(
+                    graph, rows, dist, bu_cand, pad, level, bu_mask
+                )
+                _mask_apply(bu_mask, prev, False)
+                _mask_apply(bu_mask, frontier, True)
                 continue
             unvisited = int(bu_cand.size)  # revert: the frontier stays exact
             bu_cand = None
+            bu_mask = None
         elif f * _BOTTOM_UP_RATIO > unvisited and f >= min_bu:
             # Materialise the unvisited key set (one O(rows·n) pass,
             # amortised by the trigger's minimum-frontier-size guard);
             # degree-0 keys can never be discovered and are dropped for good.
-            cand = np.nonzero(dist == UNREACHABLE)[0]
+            cand = np.nonzero(dist == UNREACHABLE)[0].astype(dt, copy=False)
             degrees = np.diff(indptr)
             bu_cand = cand[degrees.take(cand % n if multi else cand) > 0]
-            frontier, bu_cand = _bottom_up_level(graph, rows, dist, bu_cand, pad, level)
+            # The previous frontier, bit-packed: one bit per flat key.  The
+            # bottom-up probes test membership here instead of gathering
+            # distance words — identical by construction (the ``level - 1``
+            # key set IS the previous frontier).
+            bu_mask = np.zeros((total + 7) >> 3, dtype=np.uint8)
+            _mask_apply(bu_mask, frontier, True)
+            prev = frontier
+            frontier, bu_cand = _bottom_up_level(
+                graph, rows, dist, bu_cand, pad, level, bu_mask
+            )
+            _mask_apply(bu_mask, prev, False)
+            _mask_apply(bu_mask, frontier, True)
             continue
         # --- top-down kernels -------------------------------------------- #
         if f <= sparse_limit:
@@ -302,7 +394,7 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
                     if dist[nbr_key] == UNREACHABLE:
                         dist[nbr_key] = level
                         append(nbr_key)
-            frontier = np.asarray(nxt, dtype=np.int64)
+            frontier = np.asarray(nxt, dtype=dt)
         else:
             if pad is not None:
                 # Lean kernel: one slot-major take over the padded *delta*
@@ -322,11 +414,11 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
                 m = sel.size
                 if slots_buf is None or slots_buf.size < m:
                     slots_buf = np.arange(
-                        max(m, 4 * f * pad.shape[0], 1024), dtype=np.int64
+                        max(m, 4 * f * pad.shape[0], 1024), dtype=dt
                     )
                 slots = slots_buf[:m]
                 if claim is None:
-                    claim = np.empty(total, dtype=np.int64)
+                    claim = np.empty(total, dtype=dt)
                 claim[sel] = slots
                 frontier = sel[claim.take(sel) == slots]
                 dist[frontier] = level
@@ -346,8 +438,9 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
                 else:
                     neighbor_keys = neighbors
                 neighbor_keys = neighbor_keys[dist[neighbor_keys] == UNREACHABLE]
+                neighbor_keys = neighbor_keys.astype(dt, copy=False)
                 if claim is None:
-                    claim = np.empty(total, dtype=np.int64)
+                    claim = np.empty(total, dtype=dt)
                 frontier = _dedupe(neighbor_keys, claim)
                 dist[frontier] = level
         unvisited -= frontier.size
@@ -370,13 +463,14 @@ def frontier_bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray
     """
     source = check_node_index(source, graph.num_nodes, "source")
     n = graph.num_nodes
+    dt = bfs_dtype(n)
     indptr = graph.indptr
     indices = graph.indices
-    dist = np.full(n, UNREACHABLE, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
+    dist = np.full(n, UNREACHABLE, dtype=dt)
+    parent = np.full(n, -1, dtype=dt)
     dist[source] = 0
     parent[source] = source
-    frontier = np.asarray([source], dtype=np.int64)
+    frontier = np.asarray([source], dtype=dt)
     claim: Optional[np.ndarray] = None
     level = 0
     while frontier.size:
@@ -390,15 +484,15 @@ def frontier_bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray
                         dist[v] = level
                         parent[v] = u
                         append(v)
-            frontier = np.asarray(nxt, dtype=np.int64)
+            frontier = np.asarray(nxt, dtype=dt)
         else:
             neighbors, counts = _gather_neighbors(indptr, indices, frontier)
             owners = np.repeat(frontier, counts)
             unvisited = dist[neighbors] == UNREACHABLE
-            neighbors = neighbors[unvisited]
+            neighbors = neighbors[unvisited].astype(dt, copy=False)
             owners = owners[unvisited]
             if claim is None:
-                claim = np.empty(n, dtype=np.int64)
+                claim = np.empty(n, dtype=dt)
             keep = _dedupe_first(neighbors, claim)
             frontier = neighbors[keep]
             parent[frontier] = owners[keep]
@@ -409,8 +503,9 @@ def frontier_bfs_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray
 def frontier_bfs(graph: Graph, source: int, *, cutoff: Optional[int] = None) -> np.ndarray:
     """Single-source BFS distances via frontier batching.
 
-    Drop-in replacement for the legacy queue BFS: returns an ``int64`` array
-    with ``UNREACHABLE`` (-1) outside the source's component and, with
+    Drop-in replacement for the legacy queue BFS: returns an integer array
+    (dtype per :func:`bfs_dtype`) with ``UNREACHABLE`` (-1) outside the
+    source's component and, with
     *cutoff*, leaves nodes strictly beyond the radius unreached (the truncated
     search still costs only ``O(|B(source, cutoff)|)`` edge scans).
     """
@@ -426,7 +521,7 @@ def frontier_multi_source_bfs(
     n = graph.num_nodes
     seeds = [check_node_index(int(s), n, "source") for s in sources]
     if not seeds:
-        return np.full(n, UNREACHABLE, dtype=np.int64)
+        return np.full(n, UNREACHABLE, dtype=bfs_dtype(n))
     frontier = np.unique(np.asarray(seeds, dtype=np.int64))
     return _sweep(graph, 1, frontier, cutoff)
 
@@ -456,6 +551,6 @@ def bfs_distances_many(
     seeds = np.asarray([check_node_index(int(s), n, "source") for s in sources], dtype=np.int64)
     k = seeds.size
     if k == 0 or n == 0:
-        return np.full((k, n), UNREACHABLE, dtype=np.int64)
+        return np.full((k, n), UNREACHABLE, dtype=bfs_dtype(max(k, 1) * max(n, 1)))
     frontier_keys = np.arange(k, dtype=np.int64) * n + seeds
     return _sweep(graph, k, frontier_keys, cutoff).reshape(k, n)

@@ -41,12 +41,24 @@ decomposition-local oracle in ``repro.decomposition.bags``).  The
   spill a warmed oracle to disk and rebuild it in another process without a
   single repeated BFS.
 
+**Memory tiers.**  Beyond the entry-count LRU, ``max_bytes=`` turns the
+oracle into a byte-budgeted two-tier cache: rows evicted from the dense hot
+tier are *spilled* to an anonymous memory-mapped backing file (the cold
+tier) instead of being dropped, and promoted back on access — an accounted
+cache hit, so ``--stats`` hit rates stay exact.  Rows absorbed from a
+:class:`~repro.graphs.store.GraphStore` spill with ``copy=False`` stay
+memmap-backed views of the (page-shared, read-only) spill file and are
+exempt from the budget — the kernel reclaims those pages on its own.
+:meth:`resident_bytes` and :meth:`memory_stats` expose what the budget
+actually bounds.
+
 Because the graphs are undirected, ``distances_from`` and ``distances_to``
 are the same array; both spellings exist so call sites read naturally.
 """
 
 from __future__ import annotations
 
+import tempfile
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
@@ -55,6 +67,7 @@ import numpy as np
 from repro.graphs.frontier import (
     UNREACHABLE,
     bfs_distances_many,
+    bfs_dtype,
     frontier_bfs,
     frontier_bfs_tree,
 )
@@ -104,7 +117,7 @@ def next_local_pointers(
     n = graph.num_nodes
     indptr = graph.indptr
     indices = graph.indices
-    out = np.full(n, -1, dtype=np.int64)
+    out = np.full(n, -1, dtype=bfs_dtype(n))
     if indices.size == 0:
         return out
     if slot_owner is None:
@@ -191,7 +204,7 @@ def next_local_pointers_many(
     if dist_block.ndim != 2 or dist_block.shape[1] != graph.num_nodes:
         raise ValueError("dist_block must have shape (k, num_nodes)")
     k, n = dist_block.shape
-    out = np.full((k, n), -1, dtype=np.int64)
+    out = np.full((k, n), -1, dtype=bfs_dtype(n))
     if k == 0 or n == 0 or graph.indices.size == 0:
         return out
     if padded is None:
@@ -234,8 +247,73 @@ def next_local_pointers_many(
     return out
 
 
+class _ColdTier:
+    """Slot-allocated row spill over an anonymous memory-mapped temp file.
+
+    Rows evicted from the oracle's hot tier are written to slots of a
+    :func:`tempfile.TemporaryFile`-backed :class:`numpy.memmap` — the OS
+    pages them out under memory pressure and reclaims the file when the
+    tier is closed (or the process dies).  One tier holds both row kinds
+    (``"d"`` distance rows, ``"l"`` hop tables): they share the row length
+    ``n`` and the oracle dtype.  The file grows by doubling; freed slots
+    are recycled.
+    """
+
+    def __init__(self, row_len: int, dtype: np.dtype, dir: Optional[str] = None) -> None:
+        self._row_len = int(row_len)
+        self._dtype = np.dtype(dtype)
+        self._file = tempfile.TemporaryFile(dir=dir, prefix="oracle-cold-")
+        self._mm: Optional[np.memmap] = None
+        self._capacity = 0
+        self._slots: Dict[tuple, int] = {}
+        self._free: list = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical bytes held (occupied slots × row size), not file size."""
+        return len(self._slots) * self._row_len * self._dtype.itemsize
+
+    def has(self, kind: str, key: int) -> bool:
+        return (kind, key) in self._slots
+
+    def _grow(self, min_rows: int) -> None:
+        new_cap = max(min_rows, 2 * self._capacity, 8)
+        self._file.truncate(new_cap * self._row_len * self._dtype.itemsize)
+        self._mm = np.memmap(
+            self._file, dtype=self._dtype, mode="r+", shape=(new_cap, self._row_len)
+        )
+        self._capacity = new_cap
+
+    def put(self, kind: str, key: int, row: np.ndarray) -> None:
+        slot = self._slots.get((kind, key))
+        if slot is None:
+            if self._free:
+                slot = self._free.pop()
+            else:
+                slot = self._next
+                self._next += 1
+            self._slots[(kind, key)] = slot
+        if slot >= self._capacity:
+            self._grow(slot + 1)
+        self._mm[slot] = row
+
+    def pop(self, kind: str, key: int) -> np.ndarray:
+        """Remove and return a private (writable) copy of the stored row."""
+        slot = self._slots.pop((kind, key))
+        self._free.append(slot)
+        return np.array(self._mm[slot])
+
+    def close(self) -> None:
+        self._mm = None
+        self._file.close()
+
+
 class DistanceOracle:
-    """Memoised single-source BFS oracle with an optional LRU cap.
+    """Memoised single-source BFS oracle with entry- and byte-bounded tiers.
 
     ``oracle(u, v)`` returns ``dist_G(u, v)``; each distinct source costs one
     BFS (vectorized, frontier-batched), cached for the lifetime of the oracle
@@ -249,13 +327,37 @@ class DistanceOracle:
         Optional cap on the number of cached distance arrays.  ``None``
         (default) caches every source ever queried — the historical
         behaviour of the per-subsystem caches this class replaces.
+        Entry-cap evictions *drop* rows (historical semantics).
+    max_bytes:
+        Optional byte budget over the dense resident state (hot rows plus
+        the :meth:`routing_blocks` backing buffers).  When crossed, the
+        globally least-recently-used hot row is *spilled* to the
+        memory-mapped cold tier instead of dropped, and promoted back on
+        access (an accounted hit).  Memmap-backed rows absorbed from a
+        spill are budget-exempt.
+    cold_dir:
+        Directory for the cold tier's anonymous backing file (default: the
+        system temp dir).
     """
 
-    def __init__(self, graph: Graph, *, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cold_dir: Optional[str] = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1 (or None for unbounded)")
         self._graph = graph
         self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._cold_dir = cold_dir
+        #: Uniform dtype of every cached row (int32 below 2**31 nodes).
+        self._dtype = bfs_dtype(graph.num_nodes)
         self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._next_local: "OrderedDict[int, np.ndarray]" = OrderedDict()
         #: CSR slot-to-node map, built lazily for next_local computations.
@@ -275,6 +377,22 @@ class DistanceOracle:
         self._hits = 0
         self._misses = 0
         self._preloaded = 0
+        # --- memory-tier state ------------------------------------------ #
+        self._cold_tier: Optional[_ColdTier] = None
+        #: Bytes of dense (private, budget-counted) hot rows.
+        self._hot_bytes = 0
+        #: ``(kind, key)`` of rows that are memmap views of a spill file —
+        #: page-shared with sibling processes, budget-exempt, never spilled.
+        self._mapped: set = set()
+        self._mapped_bytes = 0
+        #: Global access clock for cross-cache (dist + hop) LRU eviction;
+        #: maintained only under a byte budget.
+        self._tick = 0
+        self._dist_tick: Dict[int, int] = {}
+        self._nl_tick: Dict[int, int] = {}
+        self._cold_hits = 0
+        self._cold_spills = 0
+        self._cold_promotions = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -288,6 +406,26 @@ class DistanceOracle:
     def max_entries(self) -> Optional[int]:
         """LRU capacity (``None`` means unbounded)."""
         return self._max_entries
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Byte budget over dense resident state (``None`` means unbounded)."""
+        return self._max_bytes
+
+    @property
+    def cold_hits(self) -> int:
+        """Accesses served by promoting a row from the cold tier."""
+        return self._cold_hits
+
+    @property
+    def cold_spills(self) -> int:
+        """Hot rows spilled to the cold tier by the byte budget."""
+        return self._cold_spills
+
+    @property
+    def cold_promotions(self) -> int:
+        """Rows moved back from cold to hot (includes silent prefetch promotions)."""
+        return self._cold_promotions
 
     @property
     def hits(self) -> int:
@@ -313,22 +451,134 @@ class DistanceOracle:
         return len(self._next_local)
 
     def clear(self) -> None:
-        """Drop every cached array (hit/miss counters are kept)."""
+        """Drop every cached array (hit/miss and tier counters are kept)."""
         self._cache.clear()
         self._next_local.clear()
         self._blocks = None
         self._block_storage = None
+        if self._cold_tier is not None:
+            self._cold_tier.close()
+            self._cold_tier = None
+        self._hot_bytes = 0
+        self._mapped.clear()
+        self._mapped_bytes = 0
+        self._dist_tick.clear()
+        self._nl_tick.clear()
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting
+    # ------------------------------------------------------------------ #
+
+    def _block_bytes(self) -> int:
+        storage = self._block_storage
+        if storage is None:
+            return 0
+        return int(storage[0].nbytes + storage[1].nbytes)
+
+    def resident_bytes(self) -> int:
+        """Dense private bytes the ``max_bytes`` budget bounds.
+
+        Hot cached rows plus the :meth:`routing_blocks` backing buffers.
+        Memmap-backed rows (spill-file views, page-shared across workers)
+        and the cold tier (file-backed, reclaimable) are excluded — see
+        :meth:`memory_stats` for those.
+        """
+        return self._hot_bytes + self._block_bytes()
+
+    def memory_stats(self) -> Dict[str, Optional[int]]:
+        """Tier-by-tier byte/counter snapshot (used by ``--stats``)."""
+        cold = self._cold_tier
+        return {
+            "resident_bytes": self.resident_bytes(),
+            "hot_bytes": self._hot_bytes,
+            "block_bytes": self._block_bytes(),
+            "mapped_bytes": self._mapped_bytes,
+            "cold_bytes": cold.nbytes if cold is not None else 0,
+            "cold_entries": len(cold) if cold is not None else 0,
+            "cold_hits": self._cold_hits,
+            "cold_spills": self._cold_spills,
+            "cold_promotions": self._cold_promotions,
+            "max_bytes": self._max_bytes,
+        }
+
+    def _cold(self) -> _ColdTier:
+        if self._cold_tier is None:
+            self._cold_tier = _ColdTier(
+                self._graph.num_nodes, self._dtype, dir=self._cold_dir
+            )
+        return self._cold_tier
+
+    def _touch(self, kind: str, key: int) -> None:
+        """Stamp *key* as most-recently-used on the global access clock."""
+        if self._max_bytes is None:
+            return
+        self._tick += 1
+        (self._dist_tick if kind == "d" else self._nl_tick)[key] = self._tick
+
+    def _forget(self, kind: str, key: int, row: np.ndarray) -> None:
+        """Account for a row leaving the hot tier entirely (dropped)."""
+        (self._dist_tick if kind == "d" else self._nl_tick).pop(key, None)
+        if (kind, key) in self._mapped:
+            self._mapped.discard((kind, key))
+            self._mapped_bytes -= row.nbytes
+        else:
+            self._hot_bytes -= row.nbytes
+
+    def _evict_one(self) -> bool:
+        """Spill the globally least-recently-used unmapped hot row to cold."""
+        best = None
+        for key, tick in self._dist_tick.items():
+            if ("d", key) not in self._mapped and (best is None or tick < best[0]):
+                best = (tick, "d", key)
+        for key, tick in self._nl_tick.items():
+            if ("l", key) not in self._mapped and (best is None or tick < best[0]):
+                best = (tick, "l", key)
+        if best is None:
+            return False
+        _, kind, key = best
+        if kind == "d":
+            row = self._cache.pop(key)
+            del self._dist_tick[key]
+        else:
+            row = self._next_local.pop(key)
+            del self._nl_tick[key]
+        self._cold().put(kind, key, row)
+        self._hot_bytes -= row.nbytes
+        self._cold_spills += 1
+        return True
+
+    def _enforce_budget(self) -> None:
+        if self._max_bytes is None:
+            return
+        while (
+            self._hot_bytes + self._block_bytes() > self._max_bytes
+            and len(self._dist_tick) + len(self._nl_tick) > 1
+        ):
+            if not self._evict_one():
+                break
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 
-    def _store(self, source: int, dist: np.ndarray) -> None:
+    def _store(self, source: int, dist: np.ndarray, *, mapped: bool = False) -> None:
+        dist = np.asarray(dist, dtype=self._dtype)
         dist.setflags(write=False)
+        old = self._cache.pop(source, None)
+        if old is not None:
+            self._forget("d", source, old)
         self._cache[source] = dist
+        if mapped:
+            self._mapped.add(("d", source))
+            self._mapped_bytes += dist.nbytes
+        else:
+            self._hot_bytes += dist.nbytes
+        self._touch("d", source)
         if self._max_entries is not None:
             while len(self._cache) > self._max_entries:
-                self._cache.popitem(last=False)
+                key, row = self._cache.popitem(last=False)
+                self._forget("d", key, row)
+        self._enforce_budget()
 
     def distances_from(self, source: int) -> np.ndarray:
         """Full distance array from *source* (cached, read-only)."""
@@ -337,11 +587,22 @@ class DistanceOracle:
         if dist is not None:
             self._hits += 1
             self._cache.move_to_end(source)
+            self._touch("d", source)
             return dist
+        if self._cold_tier is not None and self._cold_tier.has("d", source):
+            # Cold tier hit: the row was spilled, not dropped — promoting it
+            # back is an accounted cache hit (``--stats`` hit rates must not
+            # depend on which tier served the row).
+            dist = self._cold_tier.pop("d", source)
+            self._hits += 1
+            self._cold_hits += 1
+            self._cold_promotions += 1
+            self._store(source, dist)
+            return self._cache[source]
         self._misses += 1
         dist = frontier_bfs(self._graph, source)
         self._store(source, dist)
-        return dist
+        return self._cache[source]
 
     def distances_to(self, target: int) -> np.ndarray:
         """Distance array *to* ``target`` (== ``distances_from``: undirected graphs)."""
@@ -358,7 +619,7 @@ class DistanceOracle:
         """
         targets = [check_node_index(int(t), self._graph.num_nodes, "target") for t in targets]
         if not targets:
-            return np.empty((0, self._graph.num_nodes), dtype=np.int64)
+            return np.empty((0, self._graph.num_nodes), dtype=self._dtype)
         self.prefetch(targets)
         return np.stack([self.distances_to(t) for t in targets])
 
@@ -381,7 +642,15 @@ class DistanceOracle:
         table = self._next_local.get(target)
         if table is not None:
             self._next_local.move_to_end(target)
+            self._touch("l", target)
             return table
+        if self._cold_tier is not None and self._cold_tier.has("l", target):
+            table = self._cold_tier.pop("l", target)
+            table.setflags(write=False)
+            self._cold_hits += 1
+            self._cold_promotions += 1
+            self._store_next_local(target, table)
+            return self._next_local[target]
         dist = None
         if target in self._cache:
             # Accounted lookup: a cached distance array serving a hop-table
@@ -407,7 +676,7 @@ class DistanceOracle:
             table = next_local_pointers(self._graph, dist, slot_owner=self._owner_map())
         table.setflags(write=False)
         self._store_next_local(target, table)
-        return table
+        return self._next_local[target]
 
     def _owner_map(self) -> np.ndarray:
         """The CSR slot-to-node map, built once and reused by every pass."""
@@ -429,11 +698,24 @@ class DistanceOracle:
                 return None
         return self._padded
 
-    def _store_next_local(self, target: int, table: np.ndarray) -> None:
+    def _store_next_local(self, target: int, table: np.ndarray, *, mapped: bool = False) -> None:
+        table = np.asarray(table, dtype=self._dtype)
+        table.setflags(write=False)
+        old = self._next_local.pop(target, None)
+        if old is not None:
+            self._forget("l", target, old)
         self._next_local[target] = table
+        if mapped:
+            self._mapped.add(("l", target))
+            self._mapped_bytes += table.nbytes
+        else:
+            self._hot_bytes += table.nbytes
+        self._touch("l", target)
         if self._max_entries is not None:
             while len(self._next_local) > self._max_entries:
-                self._next_local.popitem(last=False)
+                key, row = self._next_local.popitem(last=False)
+                self._forget("l", key, row)
+        self._enforce_budget()
 
     def next_local_to_many(self, targets: Sequence[int]) -> np.ndarray:
         """Hop-table block of shape ``(len(targets), n)``, one row per target.
@@ -452,7 +734,7 @@ class DistanceOracle:
         n = self._graph.num_nodes
         key = [check_node_index(int(t), n, "target") for t in targets]
         if not key:
-            return np.empty((0, n), dtype=np.int64)
+            return np.empty((0, n), dtype=self._dtype)
         self._ensure_next_local(key)
         return np.stack([self.next_local_to(t) for t in key])
 
@@ -467,10 +749,19 @@ class DistanceOracle:
         """
         missing: list = []
         seen = set()
+        cold = self._cold_tier
         for t in targets:
-            if t not in self._next_local and t not in seen:
-                seen.add(t)
-                missing.append(t)
+            if t in self._next_local or t in seen:
+                continue
+            if cold is not None and cold.has("l", t):
+                # Spilled, not missing: promote silently (no hit/miss — the
+                # caller's per-target lookup does the accounted access).
+                table = cold.pop("l", t)
+                self._cold_promotions += 1
+                self._store_next_local(t, table)
+                continue
+            seen.add(t)
+            missing.append(t)
         if self._max_entries is not None and len(missing) > self._max_entries:
             # Mirror prefetch(): keep the head of the batch — those are the
             # rows consumed (by the caller) before any later insert can
@@ -534,6 +825,9 @@ class DistanceOracle:
                 [-1] * k,
             )
             self._block_storage = storage
+            # The buffers count against the byte budget: growing them may
+            # push hot rows out to the cold tier.
+            self._enforce_budget()
         dist_buf, nl_buf, row_targets = storage
         for i, t in enumerate(key):
             if row_targets[i] == t:
@@ -564,11 +858,19 @@ class DistanceOracle:
         n = self._graph.num_nodes
         missing: list[int] = []
         seen = set()
+        cold = self._cold_tier
         for s in sources:
             s = check_node_index(int(s), n, "source")
-            if s not in self._cache and s not in seen:
-                seen.add(s)
-                missing.append(s)
+            if s in self._cache or s in seen:
+                continue
+            if cold is not None and cold.has("d", s):
+                # Spilled, not missing: promote silently (no hit/miss — the
+                # caller's per-source lookup does the accounted access).
+                self._cold_promotions += 1
+                self._store(s, cold.pop("d", s))
+                continue
+            seen.add(s)
+            missing.append(s)
         if not missing:
             return
         if self._max_entries is not None and len(missing) > self._max_entries:
@@ -610,27 +912,34 @@ class DistanceOracle:
         """Cached arrays as four plain numpy blocks (JSON-free, ``np.savez``-able).
 
         ``dist_sources``/``dist_block`` stack the memoised distance arrays
-        (LRU order, oldest first) and ``nl_targets``/``nl_block`` the
-        memoised ``next_local`` tables.  Together with the graph these blocks
-        fully reconstruct the oracle's caches via :meth:`absorb_state` — the
-        :class:`~repro.graphs.store.GraphStore` spills them to ``.npz`` so a
+        (hot tier in LRU order, oldest first, then any cold-tier rows in key
+        order) and ``nl_targets``/``nl_block`` the memoised ``next_local``
+        tables.  Together with the graph these blocks fully reconstruct the
+        oracle's caches via :meth:`absorb_state` — the
+        :class:`~repro.graphs.store.GraphStore` spills them to disk so a
         sibling worker process rebuilds a warmed oracle with zero BFS.
         """
         n = self._graph.num_nodes
-        dist_sources = np.fromiter(self._cache.keys(), dtype=np.int64, count=len(self._cache))
+        cold = self._cold_tier
+        dist_keys = list(self._cache.keys())
+        dist_rows = list(self._cache.values())
+        nl_keys = list(self._next_local.keys())
+        nl_rows = list(self._next_local.values())
+        if cold is not None:
+            for kind, key in sorted(cold._slots):
+                row = np.array(cold._mm[cold._slots[(kind, key)]])
+                if kind == "d":
+                    dist_keys.append(key)
+                    dist_rows.append(row)
+                else:
+                    nl_keys.append(key)
+                    nl_rows.append(row)
+        dist_sources = np.asarray(dist_keys, dtype=np.int64)
         dist_block = (
-            np.stack(list(self._cache.values()))
-            if self._cache
-            else np.empty((0, n), dtype=np.int64)
+            np.stack(dist_rows) if dist_rows else np.empty((0, n), dtype=self._dtype)
         )
-        nl_targets = np.fromiter(
-            self._next_local.keys(), dtype=np.int64, count=len(self._next_local)
-        )
-        nl_block = (
-            np.stack(list(self._next_local.values()))
-            if self._next_local
-            else np.empty((0, n), dtype=np.int64)
-        )
+        nl_targets = np.asarray(nl_keys, dtype=np.int64)
+        nl_block = np.stack(nl_rows) if nl_rows else np.empty((0, n), dtype=self._dtype)
         return {
             "dist_sources": dist_sources,
             "dist_block": dist_block,
@@ -638,30 +947,50 @@ class DistanceOracle:
             "nl_block": nl_block,
         }
 
-    def absorb_state(self, state: Dict[str, np.ndarray]) -> None:
+    def absorb_state(self, state: Dict[str, np.ndarray], *, copy: bool = True) -> None:
         """Preload the caches from an :meth:`export_state` snapshot.
 
         Absorbed arrays count as neither hits nor misses (the ``preloaded``
         counter tracks them), entries already cached are left untouched, and
         the LRU cap applies as usual — so absorbing is observationally
         identical to having computed the arrays locally, minus the BFS.
+
+        With ``copy=False`` and blocks already in the oracle's row dtype
+        (the raw-memmap spill loader's case), rows are stored as *views* of
+        the given blocks: memmap-backed pages stay shared between every
+        worker absorbing the same spill file and are exempt from the
+        ``max_bytes`` budget.
         """
         n = self._graph.num_nodes
         dist_sources = np.asarray(state["dist_sources"], dtype=np.int64)
-        dist_block = np.asarray(state["dist_block"], dtype=np.int64)
         nl_targets = np.asarray(state["nl_targets"], dtype=np.int64)
-        nl_block = np.asarray(state["nl_block"], dtype=np.int64)
+        dist_block = np.asarray(state["dist_block"])
+        nl_block = np.asarray(state["nl_block"])
+        mapped = (
+            not copy
+            and dist_block.dtype == self._dtype
+            and nl_block.dtype == self._dtype
+        )
+        if not mapped:
+            dist_block = np.asarray(dist_block, dtype=self._dtype)
+            nl_block = np.asarray(nl_block, dtype=self._dtype)
         if dist_block.shape != (dist_sources.size, n) or nl_block.shape != (nl_targets.size, n):
             raise ValueError("spilled oracle state does not match this graph's shape")
         for row, source in enumerate(dist_sources):
             source = check_node_index(int(source), n, "source")
             if source not in self._cache:
-                self._store(source, dist_block[row].copy())
+                self._store(
+                    source,
+                    dist_block[row] if mapped else dist_block[row].copy(),
+                    mapped=mapped,
+                )
                 self._preloaded += 1
         for row, target in enumerate(nl_targets):
             target = check_node_index(int(target), n, "target")
             if target not in self._next_local:
-                table = nl_block[row].copy()
-                table.setflags(write=False)
-                self._store_next_local(target, table)
+                self._store_next_local(
+                    target,
+                    nl_block[row] if mapped else nl_block[row].copy(),
+                    mapped=mapped,
+                )
                 self._preloaded += 1

@@ -15,8 +15,8 @@ experiments.  The :class:`GraphStore` closes that gap:
   see :func:`repro.experiments.common.derive_instance_seed`) zero repeat BFS
   sweeps,
 * with a ``spill_dir`` it becomes a cross-*process* cache: after a cell is
-  computed the oracle's distance and ``next_local`` arrays are spilled to an
-  ``.npz`` file keyed by the instance and stamped with a **content
+  computed the oracle's distance and ``next_local`` arrays are spilled to a
+  raw ``.spill`` file keyed by the instance and stamped with a **content
   fingerprint** of the graph's CSR arrays.  A sibling worker (or a later
   run) that misses in memory reloads the spilled arrays instead of re-running
   the BFS — after verifying that the fingerprint matches the graph it just
@@ -28,6 +28,18 @@ experiments.  The :class:`GraphStore` closes that gap:
   a fresh BFS), so ``--jobs N`` stays bitwise-identical to a serial sweep
   with or without the cache.
 
+**Spill layout (v2).**  The old ``.npz`` spill forced every loader to inflate
+a private copy of each block.  V2 is a raw, page-aligned layout made for
+:func:`numpy.memmap`: an 8-byte magic (``RSPILLV2``), a little-endian uint64
+header length, a JSON header (schema version, fingerprint, ``n``, dtype, the
+source/target key lists and a sha256 of the data section), zero padding to a
+64-byte boundary, then the distance block and the ``next_local`` block as
+plain C-order rows.  Loaders validate the magic, schema, fingerprint and the
+*exact* file size (truncation cannot pass), then hand the oracle read-only
+memmap views — every ``--jobs`` worker shares the same physical pages
+instead of absorbing a private copy.  :func:`write_oracle_spill`,
+:func:`load_oracle_spill` and :func:`read_spill_header` expose the format.
+
 :func:`process_store` returns the per-process singleton used by the sweep's
 pool workers, so cells that land in the same worker process share instances
 in memory while cells in different workers share them through the spill
@@ -37,8 +49,9 @@ directory.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
-import zipfile
+import struct
 from dataclasses import dataclass, field
 from collections import OrderedDict
 from pathlib import Path
@@ -54,12 +67,150 @@ __all__ = [
     "GraphStore",
     "StoreEntry",
     "graph_fingerprint",
+    "load_oracle_spill",
     "process_store",
+    "read_spill_header",
+    "write_oracle_spill",
     "SPILL_SCHEMA_VERSION",
 ]
 
 #: Bump when the spill layout changes; loaders reject other versions.
-SPILL_SCHEMA_VERSION = 1
+SPILL_SCHEMA_VERSION = 2
+
+#: Leading magic of a v2 raw spill file.
+SPILL_MAGIC = b"RSPILLV2"
+
+#: Sanity bound on the JSON header; anything larger is a corrupt length field.
+_MAX_HEADER_BYTES = 64 * 1024 * 1024
+
+
+def _align64(offset: int) -> int:
+    """*offset* rounded up to the next 64-byte boundary."""
+    return (offset + 63) & ~63
+
+
+def write_oracle_spill(path: Union[str, Path], state: Dict[str, np.ndarray],
+                       *, fingerprint: str, n: int) -> None:
+    """Write an oracle :meth:`~DistanceOracle.export_state` snapshot as a v2 spill.
+
+    Both data blocks are coerced to one uniform dtype (the distance block's)
+    so the loader can map the whole data section with a single dtype.
+    """
+    dist_sources = np.asarray(state["dist_sources"], dtype=np.int64)
+    nl_targets = np.asarray(state["nl_targets"], dtype=np.int64)
+    dist_block = np.ascontiguousarray(state["dist_block"])
+    nl_block = np.ascontiguousarray(state["nl_block"])
+    if nl_block.dtype != dist_block.dtype:
+        nl_block = nl_block.astype(dist_block.dtype)
+    sha = hashlib.sha256()
+    sha.update(dist_block.data)
+    sha.update(nl_block.data)
+    header = {
+        "schema_version": SPILL_SCHEMA_VERSION,
+        "fingerprint": str(fingerprint),
+        "n": int(n),
+        "dtype": dist_block.dtype.str,
+        "dist_sources": dist_sources.tolist(),
+        "nl_targets": nl_targets.tolist(),
+        "data_sha256": sha.hexdigest(),
+    }
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_offset = _align64(len(SPILL_MAGIC) + 8 + len(blob))
+    with open(path, "wb") as fh:
+        fh.write(SPILL_MAGIC)
+        fh.write(struct.pack("<Q", len(blob)))
+        fh.write(blob)
+        fh.write(b"\0" * (data_offset - len(SPILL_MAGIC) - 8 - len(blob)))
+        dist_block.tofile(fh)
+        nl_block.tofile(fh)
+
+
+def read_spill_header(path: Union[str, Path]) -> Tuple[Dict, int]:
+    """``(header, data_offset)`` of a v2 spill file.
+
+    Raises :class:`ValueError` on a bad magic, a corrupt length field or a
+    header that is not valid JSON; the caller decides whether that means
+    "reject and recompute" (the store) or a test failure.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(SPILL_MAGIC))
+        if magic != SPILL_MAGIC:
+            raise ValueError("not a v2 oracle spill (bad magic)")
+        raw_len = fh.read(8)
+        if len(raw_len) != 8:
+            raise ValueError("truncated spill header length")
+        (header_len,) = struct.unpack("<Q", raw_len)
+        if header_len > _MAX_HEADER_BYTES:
+            raise ValueError("corrupt spill header length")
+        blob = fh.read(header_len)
+    if len(blob) != header_len:
+        raise ValueError("truncated spill header")
+    header = json.loads(blob.decode("utf-8"))
+    if not isinstance(header, dict):
+        raise ValueError("spill header is not an object")
+    return header, _align64(len(SPILL_MAGIC) + 8 + header_len)
+
+
+def load_oracle_spill(
+    path: Union[str, Path],
+    *,
+    expected_fingerprint: Optional[str] = None,
+    expected_n: Optional[int] = None,
+    verify: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Memory-map a v2 spill into an :meth:`~DistanceOracle.absorb_state` dict.
+
+    The returned blocks are **read-only memmap views** sharing pages with
+    every other process mapping the same file; absorb them with
+    ``copy=False`` to keep that sharing.  Validation is strict — schema
+    version, fingerprint, ``n`` and the exact file size must all match
+    (truncated or padded files raise) — and ``verify=True`` additionally
+    re-hashes the data section against the recorded sha256.
+    """
+    header, data_offset = read_spill_header(path)
+    if header.get("schema_version") != SPILL_SCHEMA_VERSION:
+        raise ValueError("unsupported spill schema version")
+    if expected_fingerprint is not None and header.get("fingerprint") != expected_fingerprint:
+        raise ValueError("spill fingerprint does not match this graph")
+    n = int(header["n"])
+    if expected_n is not None and n != int(expected_n):
+        raise ValueError("spill row length does not match this graph")
+    dtype = np.dtype(header["dtype"])
+    dist_sources = np.asarray(header["dist_sources"], dtype=np.int64)
+    nl_targets = np.asarray(header["nl_targets"], dtype=np.int64)
+    rows_d, rows_l = dist_sources.size, nl_targets.size
+    row_bytes = n * dtype.itemsize
+    expected_size = data_offset + (rows_d + rows_l) * row_bytes
+    actual_size = os.path.getsize(path)
+    if actual_size != expected_size:
+        raise ValueError(
+            f"spill size mismatch: expected {expected_size} bytes, found {actual_size}"
+        )
+    if rows_d * n:
+        dist_block: np.ndarray = np.memmap(
+            path, dtype=dtype, mode="r", offset=data_offset, shape=(rows_d, n)
+        )
+    else:
+        dist_block = np.empty((rows_d, n), dtype=dtype)
+    if rows_l * n:
+        nl_block: np.ndarray = np.memmap(
+            path, dtype=dtype, mode="r",
+            offset=data_offset + rows_d * row_bytes, shape=(rows_l, n),
+        )
+    else:
+        nl_block = np.empty((rows_l, n), dtype=dtype)
+    if verify:
+        sha = hashlib.sha256()
+        sha.update(np.ascontiguousarray(dist_block).data)
+        sha.update(np.ascontiguousarray(nl_block).data)
+        if sha.hexdigest() != header.get("data_sha256"):
+            raise ValueError("spill data hash mismatch")
+    return {
+        "dist_sources": dist_sources,
+        "dist_block": dist_block,
+        "nl_targets": nl_targets,
+        "nl_block": nl_block,
+    }
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -120,10 +271,10 @@ class GraphStore:
     Parameters
     ----------
     spill_dir:
-        Optional directory for the ``.npz`` BFS/next_local spill files.  When
+        Optional directory for the raw ``.spill`` BFS/next_local files.  When
         set, instance misses first try to reload a spilled oracle state
-        (fingerprint-checked) and :meth:`spill` persists warmed oracles for
-        other processes / later runs.
+        (fingerprint-checked, memory-mapped) and :meth:`spill` persists
+        warmed oracles for other processes / later runs.
     oracle_factory:
         Test hook building each instance's oracle (default
         :class:`DistanceOracle`); counting oracles plug in here.
@@ -131,6 +282,14 @@ class GraphStore:
         Optional LRU cap on live instances.  Evicted instances are spilled
         first (when a ``spill_dir`` is configured), so eviction costs a
         reload, not a recompute.
+    oracle_max_bytes:
+        Byte budget handed to every default-constructed oracle (the
+        ``max_bytes=`` tier budget; ignored when an ``oracle_factory`` is
+        given).
+    verify_spill:
+        Re-hash each spill file's data section against its recorded sha256
+        on load (full-content check; the default relies on the magic,
+        schema, fingerprint and exact-size checks).
     """
 
     def __init__(
@@ -139,12 +298,16 @@ class GraphStore:
         spill_dir: Optional[Union[str, Path]] = None,
         oracle_factory: Optional[Callable[[Graph], DistanceOracle]] = None,
         max_instances: Optional[int] = None,
+        oracle_max_bytes: Optional[int] = None,
+        verify_spill: bool = False,
     ) -> None:
         if max_instances is not None and max_instances < 1:
             raise ValueError("max_instances must be at least 1 (or None for unbounded)")
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._oracle_factory = oracle_factory
         self._max_instances = max_instances
+        self._oracle_max_bytes = oracle_max_bytes
+        self._verify_spill = verify_spill
         self._entries: "OrderedDict[Tuple[str, int, int], StoreEntry]" = OrderedDict()
         self._stats = {
             "graph_builds": 0,
@@ -179,6 +342,10 @@ class GraphStore:
         """
         out = dict(self._stats)
         out["instances"] = len(self._entries)
+        out["oracle_resident_bytes"] = sum(
+            e.oracle.resident_bytes() for e in self._entries.values()
+        )
+        out["oracle_nodes"] = sum(e.graph.num_nodes for e in self._entries.values())
         out["bfs_misses"] = self._retired_misses + sum(
             e.oracle.misses for e in self._entries.values()
         )
@@ -231,13 +398,16 @@ class GraphStore:
             extras = dict(extras)
         else:
             graph = built
-        factory = self._oracle_factory if self._oracle_factory is not None else DistanceOracle
+        if self._oracle_factory is not None:
+            oracle = self._oracle_factory(graph)
+        else:
+            oracle = DistanceOracle(graph, max_bytes=self._oracle_max_bytes)
         entry = StoreEntry(
             family=str(family),
             requested_n=int(n),
             seed=int(seed),
             graph=graph,
-            oracle=factory(graph),
+            oracle=oracle,
             fingerprint=graph_fingerprint(graph),
             extras=extras,
         )
@@ -258,34 +428,30 @@ class GraphStore:
     def _spill_path(self, entry: StoreEntry) -> Path:
         assert self._spill_dir is not None
         return self._spill_dir / (
-            f"{slugify(entry.family)}__n{entry.requested_n}__s{entry.seed}.npz"
+            f"{slugify(entry.family)}__n{entry.requested_n}__s{entry.seed}.spill"
         )
 
     def _load_spill(self, entry: StoreEntry) -> bool:
-        """Absorb a spilled oracle state into *entry* (fingerprint-checked)."""
+        """Absorb a spilled oracle state into *entry* (fingerprint-checked).
+
+        The blocks come back as read-only memmap views and are absorbed with
+        ``copy=False``: every worker mapping the same spill file shares its
+        physical pages instead of inflating a private copy.
+        """
         path = self._spill_path(entry)
         if not path.is_file():
             return False
         try:
-            with np.load(path, allow_pickle=False) as data:
-                if int(data["schema_version"]) != SPILL_SCHEMA_VERSION:
-                    self._stats["spill_rejected"] += 1
-                    return False
-                if str(data["fingerprint"]) != entry.fingerprint:
-                    # Content mismatch: the file describes a *different* graph
-                    # (changed generator, foreign file, corruption).  Absorbing
-                    # it would serve wrong distances — recompute instead.
-                    self._stats["spill_rejected"] += 1
-                    return False
-                state = {
-                    "dist_sources": data["dist_sources"],
-                    "dist_block": data["dist_block"],
-                    "nl_targets": data["nl_targets"],
-                    "nl_block": data["nl_block"],
-                }
-                entry.oracle.absorb_state(state)
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-            # Unreadable / truncated / wrong-shape file: recompute locally.
+            state = load_oracle_spill(
+                path,
+                expected_fingerprint=entry.fingerprint,
+                expected_n=entry.graph.num_nodes,
+                verify=self._verify_spill,
+            )
+            entry.oracle.absorb_state(state, copy=False)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable / truncated / foreign / wrong-shape file: absorbing
+            # it would serve wrong distances — recompute locally instead.
             self._stats["spill_rejected"] += 1
             return False
         entry.spilled_arrays = entry.cached_arrays()
@@ -303,13 +469,9 @@ class GraphStore:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         state = entry.oracle.export_state()
         try:
-            with open(tmp, "wb") as handle:
-                np.savez(
-                    handle,
-                    schema_version=np.int64(SPILL_SCHEMA_VERSION),
-                    fingerprint=np.str_(entry.fingerprint),
-                    **state,
-                )
+            write_oracle_spill(
+                tmp, state, fingerprint=entry.fingerprint, n=entry.graph.num_nodes
+            )
             os.replace(tmp, path)  # atomic: concurrent workers race benignly
         finally:
             if tmp.exists():  # failed write: do not leave temp litter behind
@@ -337,14 +499,24 @@ class GraphStore:
 #: One store per (process, spill-dir) — ProcessPoolExecutor workers persist
 #: across cells, so cells that land in the same worker share instances in
 #: memory while cross-worker reuse flows through the spill directory.
-_PROCESS_STORES: Dict[Optional[str], GraphStore] = {}
+_PROCESS_STORES: Dict[Tuple[Optional[str], Optional[int]], GraphStore] = {}
 
 
-def process_store(spill_dir: Optional[Union[str, Path]] = None) -> GraphStore:
-    """The calling process's :class:`GraphStore` for *spill_dir* (created once)."""
-    key = str(Path(spill_dir)) if spill_dir is not None else None
+def process_store(
+    spill_dir: Optional[Union[str, Path]] = None,
+    oracle_max_bytes: Optional[int] = None,
+) -> GraphStore:
+    """The calling process's :class:`GraphStore` for *spill_dir* (created once).
+
+    Stores are keyed by ``(spill_dir, oracle_max_bytes)`` so sweeps with
+    different oracle byte budgets never share (differently-budgeted) oracles.
+    """
+    key = (
+        str(Path(spill_dir)) if spill_dir is not None else None,
+        oracle_max_bytes,
+    )
     store = _PROCESS_STORES.get(key)
     if store is None:
-        store = GraphStore(spill_dir=spill_dir)
+        store = GraphStore(spill_dir=spill_dir, oracle_max_bytes=oracle_max_bytes)
         _PROCESS_STORES[key] = store
     return store

@@ -332,3 +332,68 @@ class TestPublicWrappers:
             np.testing.assert_array_equal(
                 frontier_bfs(g, source), legacy_bfs_distances(g, source)
             )
+
+
+class _forced_int64:
+    """Context manager pinning the engine's state dtype to the int64 path."""
+
+    def __enter__(self):
+        self.saved = frontier_module._FORCE_INT64
+        frontier_module._FORCE_INT64 = True
+
+    def __exit__(self, *exc):
+        frontier_module._FORCE_INT64 = self.saved
+
+
+class TestDtypeParity:
+    """int32 state (the default below 2**31 keys) is bitwise-identical to the
+    int64 reference path, per kernel, across the whole portfolio."""
+
+    def test_bfs_dtype_selection(self):
+        assert frontier_module.bfs_dtype(10**6) == np.dtype(np.int32)
+        assert frontier_module.bfs_dtype(np.iinfo(np.int32).max) == np.dtype(np.int32)
+        assert frontier_module.bfs_dtype(np.iinfo(np.int32).max + 1) == np.dtype(np.int64)
+        with _forced_int64():
+            assert frontier_module.bfs_dtype(8) == np.dtype(np.int64)
+
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_CONFIGS))
+    def test_kernel_values_match_int64_reference(self, kernel):
+        for graph in graph_portfolio():
+            if graph.num_nodes == 0:
+                continue
+            sources = [0, graph.num_nodes // 2, graph.num_nodes - 1]
+            graph.derived_cache().clear()
+            with _forced_kernel(kernel):
+                narrow = bfs_distances_many(graph, sources)
+                graph.derived_cache().clear()
+                with _forced_int64():
+                    wide = bfs_distances_many(graph, sources)
+            assert narrow.dtype == np.dtype(np.int32), graph.name
+            assert wide.dtype == np.dtype(np.int64), graph.name
+            np.testing.assert_array_equal(narrow, wide, err_msg=graph.name)
+
+    def test_tree_parents_match_int64_reference(self):
+        from repro.graphs.frontier import frontier_bfs_tree
+
+        for graph in graph_portfolio():
+            if graph.num_nodes == 0:
+                continue
+            dist32, parent32 = frontier_bfs_tree(graph, 0)
+            with _forced_int64():
+                dist64, parent64 = frontier_bfs_tree(graph, 0)
+            assert dist32.dtype == np.dtype(np.int32)
+            assert dist64.dtype == np.dtype(np.int64)
+            np.testing.assert_array_equal(dist32, dist64, err_msg=graph.name)
+            np.testing.assert_array_equal(parent32, parent64, err_msg=graph.name)
+
+    def test_cutoff_and_multi_source_parity(self):
+        graph = generators.grid_graph([9, 9])
+        for cutoff in (0, 1, 3):
+            narrow = frontier_bfs(graph, 0, cutoff=cutoff)
+            with _forced_int64():
+                wide = frontier_bfs(graph, 0, cutoff=cutoff)
+            np.testing.assert_array_equal(narrow, wide)
+        narrow = frontier_multi_source_bfs(graph, [0, 40, 80])
+        with _forced_int64():
+            wide = frontier_multi_source_bfs(graph, [0, 40, 80])
+        np.testing.assert_array_equal(narrow, wide)

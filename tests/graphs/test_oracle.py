@@ -433,7 +433,9 @@ class TestRoutingBlocksReuse:
         from repro.graphs.oracle import FAR_DISTANCE
 
         ref = DistanceOracle(graph)
-        dist = np.stack([ref.distances_to(t).copy() for t in targets])
+        # int64 like the engine-facing blocks: the FAR_DISTANCE sentinel is
+        # deliberately larger than any narrow cached-row dtype can hold.
+        dist = np.stack([ref.distances_to(t).copy() for t in targets]).astype(np.int64)
         dist[dist == UNREACHABLE] = FAR_DISTANCE
         nl = np.stack([ref.next_local_to(t) for t in targets])
         return dist, nl

@@ -19,7 +19,10 @@ from repro.graphs.store import (
     SPILL_SCHEMA_VERSION,
     GraphStore,
     graph_fingerprint,
+    load_oracle_spill,
     process_store,
+    read_spill_header,
+    write_oracle_spill,
 )
 
 TINY = ExperimentConfig(sizes=[48, 96], num_pairs=3, trials=3, seed=7)
@@ -148,8 +151,8 @@ class TestDiskSpill:
         entry = writer.instance("ring", 64, 7, _ring)
         entry.oracle.prefetch([1])
         writer.spill()
-        for path in tmp_path.glob("*.npz"):
-            path.write_bytes(b"this is not a zip archive")
+        for path in tmp_path.glob("*.spill"):
+            path.write_bytes(b"this is not a spill file")
         reader = GraphStore(spill_dir=tmp_path)
         loaded = reader.instance("ring", 64, 7, _ring)
         assert reader.stats()["spill_rejected"] == 1
@@ -160,10 +163,11 @@ class TestDiskSpill:
         entry = store.instance("ring", 32, 1, _ring)
         entry.oracle.prefetch([0])
         store.spill()
-        (path,) = tmp_path.glob("*.npz")
-        with np.load(path, allow_pickle=False) as data:
-            assert int(data["schema_version"]) == SPILL_SCHEMA_VERSION
-            assert str(data["fingerprint"]) == entry.fingerprint
+        (path,) = tmp_path.glob("*.spill")
+        header, data_offset = read_spill_header(path)
+        assert header["schema_version"] == SPILL_SCHEMA_VERSION
+        assert header["fingerprint"] == entry.fingerprint
+        assert data_offset % 64 == 0  # rows start page/cache-line aligned
 
     def test_eviction_spills_before_dropping(self, tmp_path):
         store = GraphStore(spill_dir=tmp_path, max_instances=1)
@@ -236,7 +240,7 @@ class TestJobsParityWithCache:
         )
         assert render_markdown(parallel) == render_markdown(serial)
         # The workers spilled their warmed instances for later runs.
-        assert list((tmp_path / "cache").glob("*.npz"))
+        assert list((tmp_path / "cache").glob("*.spill"))
 
     def test_serial_graph_cache_spills_and_reloads(self, tmp_path):
         cache = tmp_path / "cache"
@@ -252,3 +256,88 @@ class TestJobsParityWithCache:
         assert stats2["store"]["spill_loads"] == stats2["store"]["graph_builds"]
         assert stats2["store"]["bfs_preloaded"] > 0
         assert stats2["store"]["bfs_misses"] == 0
+
+
+class TestRawSpillFormat:
+    """The v2 raw memmap spill layout (write/read/load round trip)."""
+
+    def _warmed_state(self, n=64, sources=(1, 2, 5), tables=(2,)):
+        graph = generators.cycle_graph(n)
+        oracle = DistanceOracle(graph)
+        oracle.prefetch(sources)
+        for t in tables:
+            oracle.next_local_to(t)
+        return graph, oracle, oracle.export_state()
+
+    def test_memmap_round_trip_bitwise(self, tmp_path):
+        graph, oracle, state = self._warmed_state()
+        path = tmp_path / "x.spill"
+        write_oracle_spill(path, state, fingerprint=graph_fingerprint(graph), n=64)
+        loaded = load_oracle_spill(path, verify=True)
+        np.testing.assert_array_equal(loaded["dist_sources"], state["dist_sources"])
+        np.testing.assert_array_equal(loaded["dist_block"], state["dist_block"])
+        np.testing.assert_array_equal(loaded["nl_targets"], state["nl_targets"])
+        np.testing.assert_array_equal(loaded["nl_block"], state["nl_block"])
+        # The blocks really are memmap-backed shared views, not copies.
+        assert isinstance(loaded["dist_block"], np.memmap)
+        assert not loaded["dist_block"].flags.writeable
+
+    def test_absorbed_memmap_rows_are_budget_exempt(self, tmp_path):
+        graph, oracle, state = self._warmed_state(sources=(1, 2, 5, 9))
+        path = tmp_path / "x.spill"
+        write_oracle_spill(path, state, fingerprint=graph_fingerprint(graph), n=64)
+        row = oracle.distances_from(1).nbytes
+        tight = DistanceOracle(graph, max_bytes=row)  # < the absorbed rows
+        tight.absorb_state(load_oracle_spill(path), copy=False)
+        assert tight.preloaded == 5
+        # Mapped rows do not count against (or trip) the byte budget.
+        assert tight.resident_bytes() == 0
+        assert tight.cold_spills == 0
+        assert tight.memory_stats()["mapped_bytes"] > 0
+        np.testing.assert_array_equal(
+            tight.distances_from(2), oracle.distances_from(2)
+        )
+        assert tight.misses == 0
+
+    def test_truncated_file_rejected_and_recomputed(self, tmp_path):
+        writer = GraphStore(spill_dir=tmp_path)
+        entry = writer.instance("ring", 64, 7, _ring)
+        entry.oracle.prefetch([1, 2])
+        writer.spill()
+        (path,) = tmp_path.glob("*.spill")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 17])  # chop the data section
+        reader = GraphStore(spill_dir=tmp_path)
+        loaded = reader.instance("ring", 64, 7, _ring)
+        assert reader.stats()["spill_rejected"] == 1
+        assert loaded.oracle.preloaded == 0
+        assert loaded.oracle(0, 32) == 32  # recomputed, still correct
+
+    def test_flipped_data_caught_by_verify(self, tmp_path):
+        graph, oracle, state = self._warmed_state()
+        path = tmp_path / "x.spill"
+        write_oracle_spill(path, state, fingerprint=graph_fingerprint(graph), n=64)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF  # flip bits inside the data section, size unchanged
+        path.write_bytes(bytes(data))
+        load_oracle_spill(path)  # size/fingerprint checks alone cannot see it
+        with pytest.raises(ValueError):
+            load_oracle_spill(path, verify=True)
+
+    def test_foreign_header_values_rejected(self, tmp_path):
+        graph, oracle, state = self._warmed_state()
+        path = tmp_path / "x.spill"
+        write_oracle_spill(path, state, fingerprint="deadbeef", n=64)
+        with pytest.raises(ValueError):
+            load_oracle_spill(path, expected_fingerprint="cafebabe")
+        with pytest.raises(ValueError):
+            load_oracle_spill(path, expected_n=65)
+
+    def test_empty_state_round_trips(self, tmp_path):
+        graph = generators.cycle_graph(16)
+        state = DistanceOracle(graph).export_state()
+        path = tmp_path / "empty.spill"
+        write_oracle_spill(path, state, fingerprint=graph_fingerprint(graph), n=16)
+        loaded = load_oracle_spill(path, verify=True)
+        assert loaded["dist_block"].shape == (0, 16)
+        assert loaded["nl_block"].shape == (0, 16)

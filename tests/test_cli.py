@@ -98,3 +98,119 @@ class TestEngineFlag:
         )
         assert code == 0
         assert "EXP-1" in capsys.readouterr().out
+
+
+class TestByteSizeParsing:
+    def test_accepted_forms(self):
+        from repro.cli import parse_byte_size
+
+        assert parse_byte_size("123456") == 123456
+        assert parse_byte_size("64K") == 64 * 1024
+        assert parse_byte_size("512M") == 512 * 1024 * 1024
+        assert parse_byte_size("1G") == 1024 ** 3
+        assert parse_byte_size("2gb") == 2 * 1024 ** 3
+        assert parse_byte_size(" 8 M ") == 8 * 1024 * 1024
+
+    def test_rejected_forms(self):
+        import argparse
+
+        from repro.cli import parse_byte_size
+
+        for bad in ["", "abc", "12X", "-5", "0", "1.5G", "M"]:
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_byte_size(bad)
+
+    def test_bad_value_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "--oracle-max-bytes", "lots"]
+            )
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestCleanErrors:
+    def test_jobs_below_one_exits_cleanly(self, capsys):
+        assert main(["experiment", "--only", "EXP-1", "--quick", "--jobs", "0"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_shard_requires_out(self, capsys):
+        assert main(["experiment", "--only", "EXP-1", "--quick", "--shard"]) == 1
+        assert "--out" in capsys.readouterr().err
+
+    def test_uncreatable_out_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        bad = str(blocker / "artifacts")  # a path *through* a regular file
+        code = main(
+            ["experiment", "--only", "EXP-1", "--quick", "--out", bad]
+        )
+        assert code == 1
+        assert "--out" in capsys.readouterr().err
+
+    def test_uncreatable_graph_cache_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        bad = str(blocker / "cache")
+        code = main(
+            ["experiment", "--only", "EXP-1", "--quick", "--graph-cache", bad]
+        )
+        assert code == 1
+        assert "--graph-cache" in capsys.readouterr().err
+
+    @pytest.mark.skipif(
+        not hasattr(__import__("os"), "geteuid") or __import__("os").geteuid() == 0,
+        reason="root bypasses permission bits; the probe cannot fail",
+    )
+    def test_unwritable_out_dir(self, tmp_path, capsys):
+        import os
+
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o500)
+        try:
+            code = main(
+                ["experiment", "--only", "EXP-1", "--quick", "--out", str(locked)]
+            )
+        finally:
+            locked.chmod(0o700)
+        assert code == 1
+        assert "not writable" in capsys.readouterr().err
+
+
+class TestScaleFlags:
+    def test_sizes_override_reaches_config(self, capsys):
+        code = main(
+            ["experiment", "--only", "EXP-1", "--quick", "--markdown",
+             "--sizes", "48"]
+        )
+        assert code == 0
+        assert "48" in capsys.readouterr().out
+
+    def test_oracle_max_bytes_accepted(self, capsys):
+        code = main(
+            ["experiment", "--only", "EXP-1", "--quick", "--markdown",
+             "--sizes", "48", "--oracle-max-bytes", "64M"]
+        )
+        assert code == 0
+        assert "EXP-1" in capsys.readouterr().out
+
+    def test_shard_drains_out_directory(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = main(
+            ["experiment", "--only", "EXP-1", "--quick", "--markdown",
+             "--sizes", "48", "--out", out_dir, "--shard"]
+        )
+        assert code == 0
+        assert list((tmp_path / "artifacts").glob("*.json"))
+        assert not list((tmp_path / "artifacts").glob("*.lease"))
+
+    def test_stats_report_memory(self, capsys):
+        code = main(
+            ["experiment", "--only", "EXP-1", "--quick", "--markdown",
+             "--sizes", "48", "--stats"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "oracle memory" in err
+        assert "bytes/node" in err
+        assert "peak RSS" in err  # resource is always available on Linux

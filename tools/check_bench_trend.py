@@ -1,17 +1,24 @@
 #!/usr/bin/env python
-"""Benchmark trend gate: fail CI on a >30% speedup regression.
+"""Benchmark trend gate: fail CI on a >30% regression of any gated metric.
 
 Compares the *freshly measured* records a benchmark run just appended to
 ``BENCH_routing.json`` against the *committed baseline* (the file as of a
 git ref, default ``HEAD`` — i.e. exactly what the repository claimed before
-this run).  For every benchmark kind (``routing_engine`` lane-vs-scalar,
-``next_local_many`` batched-vs-loop) and every problem size measured by
-both, the fresh speedup must not fall below ``(1 - tolerance)`` times the
-baseline speedup.
+this run).  Two metrics are gated, each with its own direction:
+
+* ``speedup`` (higher is better — ``routing_engine`` lane-vs-scalar,
+  ``next_local_many`` batched-vs-loop, ``bfs_engine_highdiam``): the fresh
+  value must not fall below ``(1 - tolerance)`` times the baseline,
+* ``bytes_per_node`` (lower is better — ``oracle_memory`` resident-memory
+  records): the fresh value must not rise above ``(1 + tolerance)`` times
+  the baseline.
+
+For every benchmark kind, metric and problem size measured by both sides the
+gate applies the matching bound.
 
 The baseline is the *median* per size over the baseline file's most recent
 records (up to ``--baseline-window`` per kind and size), so one historically
-lucky run cannot ratchet the gate above what the hardware sustains; the
+lucky run cannot ratchet the gate beyond what the hardware sustains; the
 fresh value is the latest record of the current file.  Absolute thresholds
 live in the benchmarks themselves — this gate only watches the trend.
 
@@ -34,6 +41,9 @@ from collections import defaultdict
 from pathlib import Path
 
 DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_routing.json"
+
+#: Gated metrics: result-dict field -> True when higher values are better.
+GATED_METRICS = {"speedup": True, "bytes_per_node": False}
 
 
 def load_runs(text: str):
@@ -80,8 +90,8 @@ def runs_by_kind(runs):
     return per_kind
 
 
-def speedups_by_size(kind_runs, window: int = 0):
-    """``{n: [speedups...]}`` over *kind_runs*, newest last.
+def metric_by_size(kind_runs, metric: str, window: int = 0):
+    """``{n: [values...]}`` of *metric* over *kind_runs*, newest last.
 
     *window* keeps only the last N records (0 = all).
     """
@@ -90,9 +100,14 @@ def speedups_by_size(kind_runs, window: int = 0):
         kind_runs = kind_runs[-window:]
     for run in kind_runs:
         for result in run.get("results", []):
-            if "n" in result and "speedup" in result:
-                out[int(result["n"])].append(float(result["speedup"]))
+            if "n" in result and metric in result:
+                out[int(result["n"])].append(float(result[metric]))
     return out
+
+
+def speedups_by_size(kind_runs, window: int = 0):
+    """Back-compat alias: the ``speedup`` metric per size."""
+    return metric_by_size(kind_runs, "speedup", window=window)
 
 
 def main(argv=None) -> int:
@@ -124,26 +139,39 @@ def main(argv=None) -> int:
         # count is what this benchmark run actually measured — committed
         # history must never be compared against itself.
         fresh_runs = current_kinds.get(kind, [])[len(baseline_runs):]
-        fresh_sizes = speedups_by_size(fresh_runs)
-        if not fresh_sizes:
-            print(f"  {kind:>16}: no fresh records this run; skipped")
-            continue
-        baseline_sizes = speedups_by_size(baseline_runs, window=args.baseline_window)
-        for n, speedups in sorted(baseline_sizes.items()):
-            fresh_all = fresh_sizes.get(n)
-            if not fresh_all:
-                continue  # size not measured this run (e.g. smoke vs full)
-            baseline = statistics.median(speedups)
-            fresh = fresh_all[-1]
-            floor = (1.0 - args.tolerance) * baseline
-            status = "ok" if fresh >= floor else "REGRESSION"
-            compared += 1
-            print(
-                f"  {kind:>16} n={n:>6}: fresh {fresh:6.2f}x vs baseline "
-                f"{baseline:6.2f}x (floor {floor:.2f}x) {status}"
+        kind_compared = 0
+        for metric, higher_is_better in GATED_METRICS.items():
+            fresh_sizes = metric_by_size(fresh_runs, metric)
+            if not fresh_sizes:
+                continue
+            baseline_sizes = metric_by_size(
+                baseline_runs, metric, window=args.baseline_window
             )
-            if fresh < floor:
-                failures.append((kind, n, fresh, baseline))
+            for n, values in sorted(baseline_sizes.items()):
+                fresh_all = fresh_sizes.get(n)
+                if not fresh_all:
+                    continue  # size not measured this run (e.g. smoke vs full)
+                baseline = statistics.median(values)
+                fresh = fresh_all[-1]
+                if higher_is_better:
+                    bound = (1.0 - args.tolerance) * baseline
+                    ok = fresh >= bound
+                    bound_name = "floor"
+                else:
+                    bound = (1.0 + args.tolerance) * baseline
+                    ok = fresh <= bound
+                    bound_name = "ceiling"
+                status = "ok" if ok else "REGRESSION"
+                compared += 1
+                kind_compared += 1
+                print(
+                    f"  {kind:>16} n={n:>7} {metric}: fresh {fresh:9.2f} vs "
+                    f"baseline {baseline:9.2f} ({bound_name} {bound:.2f}) {status}"
+                )
+                if not ok:
+                    failures.append((kind, metric, n, fresh, baseline))
+        if not kind_compared:
+            print(f"  {kind:>16}: no fresh records this run; skipped")
     if not compared:
         print("trend gate: no overlapping (benchmark, n) records; skipping")
         return 0
