@@ -10,8 +10,9 @@ the suite fast while still exercising the same code paths).
 ``test_high_diameter_direction_optimized`` adds the ring/path rows the
 direction-optimizing engine targets: batched sweeps on high-diameter
 instances, measured against both the legacy BFS (recorded to
-``BENCH_routing.json`` under the ``bfs_engine_highdiam`` kind and
-trend-gated by ``tools/check_bench_trend.py``) and the pre-direction-
+``BENCH_routing.json`` under the ``bfs_engine_highdiam`` kind;
+``tools/check_bench_trend.py`` trend-gates the kind's ``engine_seconds``,
+the speedup ratio is informational) and the pre-direction-
 optimizing engine (the CSR top-down kernel, still in the code as the
 hub-graph fallback), with a >= 2x acceptance gate on the latter.
 
@@ -135,7 +136,11 @@ def test_high_diameter_direction_optimized():
         sources = list(range(0, n, max(1, n // num_sources)))[:num_sources]
         engine_best = baseline_best = float("inf")
         engine_block = baseline_block = None
-        for _ in range(3):
+        # Best of 5: on a single-core VM one slow round is common, and the
+        # trend gate compares engine_seconds against the committed-epoch
+        # median, so the measurement must reach the machine's floor
+        # reliably, not by luck.
+        for _ in range(5):
             graph = _highdiam_graph(family, n)  # fresh: no memoised pad
             t0 = time.perf_counter()
             baseline_block = _pre_direction_optimized(graph, sources)
@@ -145,9 +150,17 @@ def test_high_diameter_direction_optimized():
             engine_block = bfs_distances_many(graph, sources)
             engine_best = min(engine_best, time.perf_counter() - t0)
         np.testing.assert_array_equal(engine_block, baseline_block)
-        t0 = time.perf_counter()
-        legacy = [legacy_bfs_distances(graph, s) for s in sources[:8]]
-        legacy_seconds = (time.perf_counter() - t0) * (len(sources) / 8)
+        # Legacy comparator: best of 3 passes over an 8-source sample, scaled
+        # to the full batch.  A single pass makes the recorded speedup ratio
+        # hostage to comparator noise (the trend gate itself watches
+        # engine_seconds, not this ratio).
+        legacy_best = float("inf")
+        legacy = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            legacy = [legacy_bfs_distances(graph, s) for s in sources[:8]]
+            legacy_best = min(legacy_best, time.perf_counter() - t0)
+        legacy_seconds = legacy_best * (len(sources) / 8)
         for row, arr in enumerate(legacy):
             np.testing.assert_array_equal(engine_block[row], arr)
         baseline_speedup = baseline_best / engine_best
@@ -173,7 +186,7 @@ def test_high_diameter_direction_optimized():
         results,
         benchmark="bfs_engine_highdiam",
         mode="full" if os.environ.get("BENCH_ROUTING_FULL", "") == "1" else "smoke",
-        config={"families": "ring/path", "note": "batched sweep, best of 3"},
+        config={"families": "ring/path", "note": "batched sweep, best of 5"},
     )
     # The issue's acceptance bar: the direction-optimizing engine must beat
     # the committed pre-PR engine by >= 2x on every high-diameter instance.

@@ -7,14 +7,21 @@ git ref, default ``HEAD`` — i.e. exactly what the repository claimed before
 this run).  Two metrics are gated, each with its own direction:
 
 * ``speedup`` (higher is better — ``routing_engine`` lane-vs-scalar,
-  ``next_local_many`` batched-vs-loop, ``bfs_engine_highdiam``): the fresh
-  value must not fall below ``(1 - tolerance)`` times the baseline,
+  ``next_local_many`` batched-vs-loop): the fresh value must not fall below
+  ``(1 - tolerance)`` times the baseline,
 * ``bytes_per_node`` (lower is better — ``oracle_memory`` resident-memory
   records): the fresh value must not rise above ``(1 + tolerance)`` times
   the baseline.
 
 For every benchmark kind, metric and problem size measured by both sides the
-gate applies the matching bound.
+gate applies the matching bound.  Kinds listed in ``KIND_GATED_METRICS``
+override the default metric set: ``bfs_engine_highdiam`` gates on
+``engine_seconds`` (lower is better) rather than its legacy-relative
+``speedup`` — that ratio divides two timers, so a faster run of the
+pure-Python comparator (machine-state noise) would register as an engine
+regression even when the engine's own time is flat.  The absolute engine
+time has no comparator in the denominator and tracks what the gate is
+actually protecting.
 
 The baseline is the *median* per size over the baseline file's most recent
 records (up to ``--baseline-window`` per kind and size), so one historically
@@ -44,6 +51,11 @@ DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_routing.json"
 
 #: Gated metrics: result-dict field -> True when higher values are better.
 GATED_METRICS = {"speedup": True, "bytes_per_node": False}
+
+#: Per-kind overrides of the default metric set.  ``bfs_engine_highdiam``
+#: gates the engine's own wall time instead of the legacy-relative speedup
+#: ratio, which is sensitive to comparator (denominator) noise.
+KIND_GATED_METRICS = {"bfs_engine_highdiam": {"engine_seconds": False}}
 
 
 def load_runs(text: str):
@@ -140,7 +152,8 @@ def main(argv=None) -> int:
         # history must never be compared against itself.
         fresh_runs = current_kinds.get(kind, [])[len(baseline_runs):]
         kind_compared = 0
-        for metric, higher_is_better in GATED_METRICS.items():
+        gated_metrics = KIND_GATED_METRICS.get(kind, GATED_METRICS)
+        for metric, higher_is_better in gated_metrics.items():
             fresh_sizes = metric_by_size(fresh_runs, metric)
             if not fresh_sizes:
                 continue
