@@ -6,6 +6,11 @@ append-only ``BENCH_routing.json`` at the repository root, keyed by a
 ``benchmark`` kind, so ``tools/check_bench_trend.py`` can gate each kind's
 speedup trajectory against the committed baseline and CI can upload one
 artifact with the whole perf history.
+
+Each record also stamps the *active kernel backend*
+(:func:`repro.graphs.kernels.backend_stats`): results are backend-invariant
+but wall-clock is not, so a trajectory mixing numpy- and numba-measured rows
+must say which is which for the trend to be interpretable.
 """
 
 from __future__ import annotations
@@ -13,6 +18,8 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
+
+from repro.graphs import kernels
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_routing.json"
 
@@ -32,6 +39,7 @@ def append_record(results, *, benchmark: str, mode: str, config: dict) -> None:
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "benchmark": benchmark,
             "mode": mode,
+            "kernel_backend": kernels.backend_stats()["active"],
             "config": config,
             "results": results,
         }

@@ -42,7 +42,7 @@ import numpy as np
 from bench_recording import append_record
 from repro.core.base import NO_CONTACT
 from repro.core.uniform import UniformScheme
-from repro.graphs import generators
+from repro.graphs import generators, kernels
 from repro.graphs.oracle import DistanceOracle
 from repro.routing.engine import materialize_contact_table, route_lanes
 from repro.routing.greedy import greedy_route
@@ -310,9 +310,13 @@ def test_next_local_many_speedup():
     if _full_mode():
         biggest = results[-1]
         assert biggest["n"] >= 50_000
-        # At 50k the batched pass sits near numpy's fancy-index floor and the
+        # At 50k the numpy batched pass sits at the fancy-index floor and its
         # measurement is dominated by allocator/page-fault state, swinging
-        # ~1.4-2.0x run to run on the same code.  The absolute gate therefore
-        # only guards against the batched path *losing* to the loop;
-        # tools/check_bench_trend.py watches the trajectory for drift.
-        assert biggest["speedup"] >= 1.3, results
+        # ~1.4-2.0x run to run on the same code — hence the relaxed 1.3x
+        # guard against the batched path outright *losing* to the loop.  The
+        # compiled backend is not allocator-bound (one typed pass, no
+        # temporaries), so where it is active the gate returns to the
+        # original 1.5x bar; tools/check_bench_trend.py watches the
+        # trajectory for drift either way.
+        gate = 1.5 if kernels.active_backend().compiled else 1.3
+        assert biggest["speedup"] >= gate, (gate, results)

@@ -1,4 +1,21 @@
-"""Legacy setup shim so `pip install -e .` works without the wheel package."""
-from setuptools import setup
+"""Legacy setup shim so `pip install -e .` works without the wheel package.
 
-setup()
+The only packaging metadata that matters here is the ``compiled`` extra:
+``pip install .[compiled]`` pulls in numba for the optional compiled kernel
+backend (see ``src/repro/graphs/kernels/``).  The library itself depends on
+numpy alone and runs pure-python when the extra is absent.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-navigability",
+    version="0.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy"],
+    extras_require={
+        # Optional compiled kernel backend; repro.graphs.kernels degrades to
+        # the numpy reference kernels (one logged warning) when absent.
+        "compiled": ["numba>=0.57"],
+    },
+)

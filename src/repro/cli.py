@@ -12,7 +12,9 @@ Four subcommands cover the library's day-to-day uses without writing Python:
   multi-process queue, ``--graph-cache`` spills the GraphStore's BFS arrays
   so graph instances are shared across workers and runs,
   ``--oracle-max-bytes`` byte-budgets the distance oracles' resident memory,
-  ``--stats`` reports hit rates and memory use).
+  ``--kernel-backend`` selects the compiled BFS/hop-table kernels,
+  ``--stats`` reports hit rates, memory use and which kernel backend served
+  each cell).
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -32,7 +34,7 @@ from repro.decomposition.pathshape import estimate_pathshape
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.lease import DEFAULT_LEASE_TTL
 from repro.experiments.runner import EXPERIMENT_MODULES, render_markdown, run_all
-from repro.graphs import generators
+from repro.graphs import generators, kernels
 from repro.graphs.distances import diameter
 from repro.graphs.graph import Graph
 from repro.routing.simulator import ROUTING_ENGINES, estimate_greedy_diameter
@@ -144,6 +146,9 @@ def _cmd_pathshape(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    if args.kernel_backend:
+        kernels.set_backend(args.kernel_backend)
+        kernels.warmup_active()
     graph = _make_graph(args.family, args.size, args.seed)
     rows = []
     for scheme_name in args.schemes:
@@ -174,6 +179,11 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.kernel_backend:
+        # Recorded in the environment (so --jobs/--shard workers inherit it),
+        # NOT in the config fingerprint: the backend cannot change results
+        # (asserted by the parity tests), so artifacts stay interchangeable.
+        kernels.set_backend(args.kernel_backend)
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
     config = config.scaled(engine=args.engine)
     if args.sizes:
@@ -255,6 +265,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
             memory += f"; peak RSS: {peak} byte(s)"
         print(memory, file=sys.stderr)
+        # Which kernel backend actually served each computed cell.  A cell
+        # served by numpy under a numba request is a *silent fallback*
+        # (worker host missing the extra) — surfacing it here is what keeps
+        # shard/nightly logs honest about what was measured.
+        backends = stats.get("kernel_backends", {})
+        requested = kernels.requested_backend()
+        served: Dict[str, int] = {}
+        warmup = 0.0
+        for info in backends.values():
+            served[info["active"]] = served.get(info["active"], 0) + 1
+            warmup = max(warmup, float(info.get("jit_warmup_seconds") or 0.0))
+        cells = ", ".join(f"{name}={count}" for name, count in sorted(served.items()))
+        line = f"kernel backend: requested {requested}"
+        line += f"; cells served: {cells if cells else 'none computed'}"
+        if warmup:
+            line += f"; JIT warmup: {warmup:.3f}s"
+        print(line, file=sys.stderr)
+        if requested == "numba" and served.get("numpy"):
+            fallen = [
+                f"{cell.experiment_id}/{cell.family}/n={cell.n}"
+                for cell, info in backends.items()
+                if info["active"] == "numpy"
+            ]
+            shown = ", ".join(fallen[:8]) + (" ..." if len(fallen) > 8 else "")
+            print(
+                f"WARNING: {len(fallen)} cell(s) fell back to numpy kernels: {shown}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -301,6 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ROUTING_ENGINES,
         default="lane",
         help="Monte-Carlo routing engine (lane = vectorized, scalar = reference loop)",
+    )
+    p_route.add_argument(
+        "--kernel-backend",
+        choices=kernels.BACKEND_CHOICES,
+        help=(
+            "BFS/hop-table kernel backend (auto = numba when installed; "
+            "results are backend-invariant)"
+        ),
     )
     p_route.set_defaults(handler=_cmd_route)
 
@@ -368,6 +414,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ROUTING_ENGINES,
         default="lane",
         help="Monte-Carlo routing engine (part of the artifact fingerprint)",
+    )
+    p_exp.add_argument(
+        "--kernel-backend",
+        choices=kernels.BACKEND_CHOICES,
+        help=(
+            "BFS/hop-table kernel backend, exported via REPRO_KERNEL_BACKEND "
+            "so --jobs/--shard workers inherit it (NOT part of the artifact "
+            "fingerprint: results are backend-invariant)"
+        ),
     )
     p_exp.set_defaults(handler=_cmd_experiment)
 

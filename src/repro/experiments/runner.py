@@ -58,6 +58,7 @@ from repro.experiments import lease as lease_module
 from repro.experiments.common import OracleFactory
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.lease import DEFAULT_LEASE_TTL
+from repro.graphs import kernels
 from repro.graphs.store import GraphStore, process_store
 
 __all__ = [
@@ -133,7 +134,7 @@ def _run_cell_worker(
     config: ExperimentConfig,
     graph_cache: Optional[str] = None,
     oracle_max_bytes: Optional[int] = None,
-) -> Tuple[str, str, int, dict]:
+) -> Tuple[str, str, int, dict, dict]:
     """Process-pool entry point: compute one cell (module-level: picklable).
 
     Each worker process keeps one :func:`~repro.graphs.store.process_store`
@@ -142,13 +143,20 @@ def _run_cell_worker(
     store spills every instance it warmed after the cell, so *other* workers
     reload the BFS arrays from disk instead of recomputing them.  Either way
     the payload is bitwise identical to a serial run: the store only ever
-    serves arrays a fresh BFS would reproduce exactly.
+    serves arrays a fresh BFS would reproduce exactly — including under a
+    compiled kernel backend, whose selection workers inherit through the
+    ``REPRO_KERNEL_BACKEND`` environment variable.  The returned backend
+    snapshot feeds ``--stats``: a worker that silently fell back to numpy
+    (numba missing on a shard host) is visible there, not just slower.
     """
     module = _module_by_id(experiment_id)
+    # Warm the JIT before any timed work; idempotent per process (and free
+    # for numpy), so the first cell pays compile time at most once.
+    kernels.warmup_active()
     store = process_store(graph_cache, oracle_max_bytes)
     payload = module.run_cell(config, family, n, store=store)
     store.spill()
-    return experiment_id, family, n, payload
+    return experiment_id, family, n, payload, kernels.backend_stats()
 
 
 class SweepExecutor:
@@ -257,6 +265,9 @@ class SweepExecutor:
         self.store = store
         self.executed: List[SweepCell] = []
         self.skipped: List[SweepCell] = []
+        #: Per-computed-cell kernel-backend snapshot (``--stats``): which
+        #: backend actually served the cell and what its JIT warmup cost.
+        self.cell_backends: Dict[SweepCell, dict] = {}
 
     # ------------------------------------------------------------------ #
     # Artifact handling
@@ -332,6 +343,8 @@ class SweepExecutor:
             or len(pending) <= 1
         )
         if in_process:
+            if pending:
+                kernels.warmup_active()
             for cell in pending:
                 module = _module_by_id(cell.experiment_id)
                 payload = module.run_cell(
@@ -344,7 +357,7 @@ class SweepExecutor:
                 # Spill after every cell so an interrupted sweep still leaves
                 # its BFS arrays behind for the next (or a parallel) run.
                 self.store.spill()
-                self._finish(payloads, cell, payload)
+                self._finish(payloads, cell, payload, kernels.backend_stats())
         else:
             graph_cache = str(self._graph_cache) if self._graph_cache is not None else None
             with concurrent.futures.ProcessPoolExecutor(max_workers=self._jobs) as pool:
@@ -362,8 +375,8 @@ class SweepExecutor:
                 }
                 for future in concurrent.futures.as_completed(futures):
                     cell = futures[future]
-                    _, _, _, payload = future.result()
-                    self._finish(payloads, cell, payload)
+                    _, _, _, payload, backend = future.result()
+                    self._finish(payloads, cell, payload, backend)
         return payloads
 
     def _run_sharded(self, payloads, pending: List[SweepCell]) -> None:
@@ -399,6 +412,7 @@ class SweepExecutor:
                     continue
                 try:
                     module = _module_by_id(cell.experiment_id)
+                    kernels.warmup_active()
                     payload = module.run_cell(
                         self._config,
                         cell.family,
@@ -407,7 +421,7 @@ class SweepExecutor:
                         store=self.store,
                     )
                     self.store.spill()
-                    self._finish(payloads, cell, payload)
+                    self._finish(payloads, cell, payload, kernels.backend_stats())
                 finally:
                     lease_module.release(apath)
                 progressed = True
@@ -415,10 +429,14 @@ class SweepExecutor:
             if remaining and not progressed:
                 time.sleep(self._poll_interval)
 
-    def _finish(self, payloads, cell: SweepCell, payload: dict) -> None:
+    def _finish(
+        self, payloads, cell: SweepCell, payload: dict, backend: Optional[dict] = None
+    ) -> None:
         payloads[cell.experiment_id][(cell.family, cell.n)] = payload
         self._persist(cell, payload)
         self.executed.append(cell)
+        if backend is not None:
+            self.cell_backends[cell] = backend
 
 
 def run_all(
@@ -467,7 +485,9 @@ def run_all(
         passing the same store).
     stats:
         Optional dict populated with ``"executed"`` / ``"skipped"`` cell
-        lists and the ``"store"`` cache-hit counters.
+        lists, the ``"store"`` cache-hit counters and the per-cell
+        ``"kernel_backends"`` snapshots (which backend served each computed
+        cell, plus its JIT warmup time).
     shard:
         Drain ``artifacts_dir`` as one worker of a lease-coordinated
         multi-process queue (see :class:`SweepExecutor`); every shard ends
@@ -503,6 +523,7 @@ def run_all(
         stats["executed"] = list(executor.executed)
         stats["skipped"] = list(executor.skipped)
         stats["store"] = executor.store.stats()
+        stats["kernel_backends"] = dict(executor.cell_backends)
     return results
 
 

@@ -69,6 +69,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.utils.validation import check_node_index
 
@@ -273,6 +274,7 @@ def _mask_test(mask: np.ndarray, keys: np.ndarray) -> np.ndarray:
 def _bottom_up_level(
     graph: Graph, rows: int, dist: np.ndarray, cand: np.ndarray,
     pad: Optional[np.ndarray], level: int, mask: np.ndarray,
+    kb: Optional[kernels.KernelBackend] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Bottom-up step: scan the *unvisited* keys for a parent in the previous frontier.
 
@@ -287,6 +289,14 @@ def _bottom_up_level(
     form needs no extra masking.
     """
     n = graph.num_nodes
+    if kb is not None and kb.compiled:
+        # Compiled scan: same mask probes, with per-candidate short-circuit
+        # on the first set bit (membership is a disjunction, so the early
+        # exit cannot change which candidates are found).
+        found = kb.bottom_up_csr(
+            graph.indptr, graph.indices, dist, cand, mask, n, level
+        )
+        return cand[found], cand[~found]
     nodes = cand % n if rows > 1 else cand
     if pad is not None:
         nbrs = pad.take(nodes, axis=1)
@@ -329,6 +339,13 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
     total = rows * n
     multi = rows > 1
     dt = bfs_dtype(total)
+    # Backend resolution is per-call (mirroring the per-level kernel switch):
+    # compiled backends replace the three top-down kernels and the bottom-up
+    # probe with typed CSR loops; the direction heuristics, the mask
+    # bookkeeping and the padded-table build stay in numpy either way, and
+    # every kernel stamps identical levels (see repro.graphs.kernels).
+    kb = kernels.active_backend()
+    compiled = kb.compiled
     indptr = graph.indptr
     indices = graph.indices
     dist = np.full(total, UNREACHABLE, dtype=dt)
@@ -352,7 +369,7 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
             if f * _BOTTOM_UP_RATIO > bu_cand.size:
                 prev = frontier
                 frontier, bu_cand = _bottom_up_level(
-                    graph, rows, dist, bu_cand, pad, level, bu_mask
+                    graph, rows, dist, bu_cand, pad, level, bu_mask, kb
                 )
                 _mask_apply(bu_mask, prev, False)
                 _mask_apply(bu_mask, frontier, True)
@@ -375,13 +392,22 @@ def _sweep(graph: Graph, rows: int, frontier: np.ndarray, cutoff: Optional[int])
             _mask_apply(bu_mask, frontier, True)
             prev = frontier
             frontier, bu_cand = _bottom_up_level(
-                graph, rows, dist, bu_cand, pad, level, bu_mask
+                graph, rows, dist, bu_cand, pad, level, bu_mask, kb
             )
             _mask_apply(bu_mask, prev, False)
             _mask_apply(bu_mask, frontier, True)
             continue
         # --- top-down kernels -------------------------------------------- #
-        if f <= sparse_limit:
+        if compiled:
+            # Typed CSR/padded loop: the stamp doubles as visited filter and
+            # dedupe, so one pass replaces the gather + mask + claim-scatter
+            # pipeline (and subsumes the sparse scalar loop — a tiny frontier
+            # is just a short trip through the same compiled loop).
+            if pad is not None:
+                frontier = kb.top_down_padded(pad, dist, frontier, n, level)
+            else:
+                frontier = kb.top_down_csr(indptr, indices, dist, frontier, n, level)
+        elif f <= sparse_limit:
             # Tiny frontier: plain Python loop, distances stamped (and
             # thereby deduplicated) as we go.
             nxt: list = []

@@ -1,0 +1,320 @@
+"""Optional compiled backends for the BFS level kernels and hop-table builds.
+
+PRs 4-6 drove the hot loops in :mod:`repro.graphs.frontier` and
+:mod:`repro.graphs.oracle` to the numpy fancy-index floor (~2.3 ns/element):
+each per-level BFS pass and each batched ``next_local`` build is now bounded
+by allocator churn and gather overhead, not arithmetic.  The step past that
+floor is a *typed loop over the CSR index arrays* — the same per-element work,
+but with no temporaries, no per-call dispatch, and no buffered scatter.  This
+package provides exactly that as an **opt-in backend registry**:
+
+* ``numpy`` — always available; it is the *bitwise reference*.  Selecting it
+  runs the existing inline numpy kernels in ``frontier.py``/``oracle.py``
+  unchanged (this backend's kernel slots are ``None`` on purpose: the
+  reference implementation lives where it always lived, so choosing numpy is
+  guaranteed to be a no-op).
+* ``numba`` — ``@njit(cache=True)`` typed CSR loops for the four hot kernels
+  (top-down CSR gather, padded-delta top-down, bottom-up bitmask scan, and
+  the batched ``next_local`` fill), loaded through a **build-free import
+  guard**: when numba is not importable the repo stays pure python, requests
+  for the compiled backend degrade to numpy with a single logged warning,
+  and nothing else changes.
+
+**Selection** is per-call, like the existing per-level kernel switch: the
+engine resolves :func:`active_backend` at the top of each sweep/build.  The
+resolution order is
+
+1. an explicit in-process override (:func:`use_backend` — tests), then
+2. the ``REPRO_KERNEL_BACKEND`` environment variable (which is also how
+   :func:`set_backend` — the CLI's ``--kernel-backend`` flag — records the
+   choice, so sweep worker processes inherit it), then
+3. ``auto``: numba when importable, numpy otherwise.
+
+**The backend must never change results.**  Every compiled kernel stamps the
+same levels / picks the same first-CSR-slot hops as the numpy reference
+(property-tested bitwise in ``tests/graphs/test_kernels.py``), which is why
+the choice is *not* part of the experiment fingerprint: artifacts produced
+under either backend are interchangeable, and a resumed sweep may freely mix
+them.
+
+**Warmup.**  JIT compilation happens once per process per signature; the
+:meth:`KernelBackend.warmup` hook runs every kernel on tiny inputs (both
+int32 and int64 state dtypes) and records the elapsed time, so benchmark
+recorders can keep compilation out of timed regions and ``--stats`` can
+report it.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "BACKEND_ENV_VAR",
+    "KernelBackend",
+    "active_backend",
+    "available_backends",
+    "backend_stats",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "warmup_active",
+]
+
+#: Environment variable carrying the process-wide backend request.  Worker
+#: processes of a sweep inherit the parent's environment, so a CLI-level
+#: :func:`set_backend` propagates through the ProcessPoolExecutor for free.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Valid request names.  ``auto`` resolves to numba when importable, numpy
+#: otherwise; the other two force a specific backend (forcing ``numba``
+#: without numba installed falls back to numpy with one logged warning).
+BACKEND_CHOICES: Tuple[str, ...] = ("auto", "numpy", "numba")
+
+_log = logging.getLogger(__name__)
+
+
+class KernelBackend:
+    """A named kernel set the BFS engine and oracle can dispatch through.
+
+    The four kernel slots mirror the engine's per-level kernel portfolio:
+
+    ``top_down_csr(indptr, indices, dist, frontier, n, level)``
+        Expand *frontier* (flat keys) over the CSR arrays, stamping ``level``
+        into unvisited slots of *dist*; returns the next frontier.
+    ``top_down_padded(pad, dist, frontier, n, level)``
+        Same step over the slot-major padded *delta* adjacency.
+    ``bottom_up_csr(indptr, indices, dist, cand, mask, n, level)``
+        Scan each unvisited candidate's neighbours for a bit set in the
+        bit-packed previous-frontier *mask*; stamps *dist* and returns the
+        per-candidate found flags.
+    ``next_local_fill(indptr, indices, dist_block, out)``
+        Batched first-improving-CSR-slot hop-table fill (the compiled
+        counterpart of :func:`repro.graphs.oracle.next_local_pointers_many`).
+
+    The ``numpy`` backend keeps all four slots ``None``: it denotes "run the
+    inline numpy reference code", so selecting it can never perturb the
+    existing paths.  ``warmup()`` is idempotent and returns the one-time JIT
+    compile time in seconds (0.0 for non-compiled backends).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        compiled: bool,
+        top_down_csr: Optional[Callable] = None,
+        top_down_padded: Optional[Callable] = None,
+        bottom_up_csr: Optional[Callable] = None,
+        next_local_fill: Optional[Callable] = None,
+        warmup_kernels: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.name = name
+        self.compiled = compiled
+        self.top_down_csr = top_down_csr
+        self.top_down_padded = top_down_padded
+        self.bottom_up_csr = bottom_up_csr
+        self.next_local_fill = next_local_fill
+        self._warmup_kernels = warmup_kernels
+        #: ``None`` until :meth:`warmup` has run (non-compiled backends need
+        #: no warmup and are born at 0.0).
+        self.warmup_seconds: Optional[float] = None if compiled else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelBackend({self.name!r}, compiled={self.compiled})"
+
+    def warmup(self) -> float:
+        """Compile every kernel on tiny inputs; idempotent, returns seconds.
+
+        Benchmarks call this before their timed regions so JIT compilation
+        never pollutes a measurement; the sweep runner calls it once per
+        worker process for the same reason.  The elapsed time is kept on
+        :attr:`warmup_seconds` for ``--stats`` reporting.
+        """
+        if self.warmup_seconds is not None:
+            return self.warmup_seconds
+        start = time.perf_counter()
+        if self._warmup_kernels is not None:
+            self._warmup_kernels()
+        self.warmup_seconds = time.perf_counter() - start
+        return self.warmup_seconds
+
+
+#: The always-available bitwise reference (inline numpy code in the engine).
+_NUMPY = KernelBackend("numpy", compiled=False)
+
+_numba_backend: Optional[KernelBackend] = None
+_numba_import_failed = False
+_warned_missing = False
+_warned_bad_env = False
+
+#: In-process override installed by :func:`use_backend`; beats the env var.
+_override: Optional[str] = None
+
+
+def _load_numba_backend() -> Optional[KernelBackend]:
+    """Import the numba kernel module behind the build-free guard.
+
+    Any import failure (numba absent, broken install, unsupported platform)
+    marks the backend unavailable for the rest of the process; resolution
+    then falls back to numpy.  The guard catches broad ``Exception`` on
+    purpose — numba can fail at import time with more than ``ImportError``
+    (e.g. llvmlite/ABI mismatches) and every such failure means the same
+    thing here: no compiled backend.
+    """
+    global _numba_backend, _numba_import_failed
+    if _numba_backend is not None or _numba_import_failed:
+        return _numba_backend
+    try:
+        from repro.graphs.kernels import numba_backend as _nb
+    except Exception as exc:  # noqa: BLE001 - see docstring
+        _numba_import_failed = True
+        _log.debug("numba kernel backend unavailable: %s", exc)
+        return None
+    _numba_backend = KernelBackend(
+        "numba",
+        compiled=True,
+        top_down_csr=_nb.top_down_csr,
+        top_down_padded=_nb.top_down_padded,
+        bottom_up_csr=_nb.bottom_up_csr,
+        next_local_fill=_nb.next_local_fill,
+        warmup_kernels=_nb.warmup_kernels,
+    )
+    return _numba_backend
+
+
+def _warn_missing_numba() -> None:
+    global _warned_missing
+    if not _warned_missing:
+        _warned_missing = True
+        _log.warning(
+            "kernel backend 'numba' requested but numba is not importable; "
+            "falling back to the numpy reference kernels "
+            "(install the optional extra: pip install .[compiled])"
+        )
+
+
+def requested_backend() -> str:
+    """The current *request* (``auto``/``numpy``/``numba``), before resolution."""
+    if _override is not None:
+        return _override
+    value = os.environ.get(BACKEND_ENV_VAR, "").strip().lower() or "auto"
+    if value not in BACKEND_CHOICES:
+        global _warned_bad_env
+        if not _warned_bad_env:
+            _warned_bad_env = True
+            _log.warning(
+                "ignoring invalid %s=%r (expected one of %s); using 'auto'",
+                BACKEND_ENV_VAR,
+                value,
+                "/".join(BACKEND_CHOICES),
+            )
+        return "auto"
+    return value
+
+
+def active_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve the backend serving the current call.
+
+    With *name* the resolution is forced for this call; otherwise the
+    process-wide request (:func:`requested_backend`) applies.  ``numba``
+    requests degrade to numpy (one logged warning) when numba is not
+    importable; ``auto`` degrades silently — a pure-python checkout is not a
+    misconfiguration.
+    """
+    request = name if name is not None else requested_backend()
+    if request not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown kernel backend {request!r}; expected one of {BACKEND_CHOICES}"
+        )
+    if request == "numpy":
+        return _NUMPY
+    backend = _load_numba_backend()
+    if backend is None:
+        if request == "numba":
+            _warn_missing_numba()
+        return _NUMPY
+    return backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The backend registered under *name* (``numpy``/``numba``), or raise.
+
+    Unlike :func:`active_backend` this never falls back: asking for a
+    backend that cannot load is an error (used by tests and tooling that
+    must not silently measure the wrong thing).
+    """
+    if name == "numpy":
+        return _NUMPY
+    if name == "numba":
+        backend = _load_numba_backend()
+        if backend is None:
+            raise RuntimeError(
+                "numba kernel backend is not available in this environment "
+                "(pip install .[compiled])"
+            )
+        return backend
+    raise ValueError(f"unknown kernel backend {name!r}; expected 'numpy' or 'numba'")
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends that can actually serve calls right now."""
+    names = ["numpy"]
+    if _load_numba_backend() is not None:
+        names.append("numba")
+    return tuple(names)
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Install *name* as the process-wide request and return the resolution.
+
+    Records the choice in ``os.environ[REPRO_KERNEL_BACKEND]`` so worker
+    processes spawned later (the sweep pool) inherit it, and clears any
+    in-process override.  This is what the CLI's ``--kernel-backend`` flag
+    calls.
+    """
+    name = name.strip().lower()
+    if name not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_CHOICES}"
+        )
+    global _override
+    _override = None
+    os.environ[BACKEND_ENV_VAR] = name
+    return active_backend()
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Context manager forcing *name* for the enclosed calls (test hook)."""
+    if name not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_CHOICES}"
+        )
+    global _override
+    saved = _override
+    _override = name
+    try:
+        yield active_backend()
+    finally:
+        _override = saved
+
+
+def warmup_active() -> float:
+    """Warm the active backend (no-op 0.0 for numpy); returns JIT seconds."""
+    return active_backend().warmup()
+
+
+def backend_stats() -> Dict[str, object]:
+    """Requested/active backend snapshot for ``--stats`` and bench records."""
+    backend = active_backend()
+    return {
+        "requested": requested_backend(),
+        "active": backend.name,
+        "compiled": backend.compiled,
+        "jit_warmup_seconds": backend.warmup_seconds,
+    }

@@ -1,0 +1,170 @@
+"""Numba ``@njit(cache=True)`` kernels for the BFS level steps and hop fills.
+
+Imported lazily (and guardedly) by :mod:`repro.graphs.kernels` — this module
+must never be imported directly by engine code, so a checkout without numba
+stays pure python.
+
+Each kernel is the *typed-loop transliteration* of one numpy kernel in
+:mod:`repro.graphs.frontier` / :mod:`repro.graphs.oracle` and stamps bitwise
+identical state:
+
+* BFS distances are intra-level order independent, so the top-down loops may
+  visit frontier entries in order and dedupe by stamping (first writer wins —
+  any writer stamps the same ``level``).
+* The bottom-up loop probes the same bit-packed previous-frontier mask the
+  numpy kernel builds, and may short-circuit on the first set bit: membership
+  is a disjunction.
+* The hop fill takes the *first* CSR slot whose neighbour sits one level
+  closer — exactly the lexicographic ``(distance, id)`` minimum the
+  transposed composite-key pass computes, because CSR neighbour lists are
+  sorted.
+
+All kernels are dtype-generic over the sweep state dtype (int32 below 2**31
+flat keys, int64 past it or when forced — see
+:func:`repro.graphs.frontier.bfs_dtype`); numba specialises per signature and
+:func:`warmup_kernels` pre-compiles both variants so sweeps never JIT inside
+a timed region.  ``cache=True`` persists the machine code on disk, so warmup
+is only expensive the very first time a given environment runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+
+@njit(cache=True)
+def top_down_csr(indptr, indices, dist, frontier, n, level):
+    """Expand *frontier* (flat keys) over CSR; stamp ``level``; return next frontier.
+
+    The stamp doubles as the visited filter *and* the dedupe (matching the
+    numpy kernel's mask + claim-scatter pair): a key discovered twice within
+    the level is appended only by its first discoverer.
+    """
+    total = 0
+    for i in range(frontier.shape[0]):
+        node = frontier[i] % n
+        total += indptr[node + 1] - indptr[node]
+    nxt = np.empty(total, dist.dtype)
+    count = 0
+    for i in range(frontier.shape[0]):
+        key = frontier[i]
+        node = key % n
+        base = key - node
+        for p in range(indptr[node], indptr[node + 1]):
+            nbr_key = base + indices[p]
+            if dist[nbr_key] == -1:
+                dist[nbr_key] = level
+                nxt[count] = nbr_key
+                count += 1
+    return nxt[:count]
+
+
+@njit(cache=True)
+def top_down_padded(pad, dist, frontier, n, level):
+    """Top-down step over the slot-major padded *delta* adjacency.
+
+    ``pad[j, u]`` is ``v - u`` for ``u``'s ``j``-th CSR neighbour (0 in the
+    padding slots), so a neighbour's flat key is ``key + pad[j, node]`` and a
+    padding slot lands on the owner's own (always visited) key — the same
+    self-padding trick the numpy kernel relies on, with no sentinel handling.
+    """
+    dmax = pad.shape[0]
+    nxt = np.empty(frontier.shape[0] * dmax, dist.dtype)
+    count = 0
+    for i in range(frontier.shape[0]):
+        key = frontier[i]
+        node = key % n
+        for j in range(dmax):
+            nbr_key = key + pad[j, node]
+            if dist[nbr_key] == -1:
+                dist[nbr_key] = level
+                nxt[count] = nbr_key
+                count += 1
+    return nxt[:count]
+
+
+@njit(cache=True)
+def bottom_up_csr(indptr, indices, dist, cand, mask, n, level):
+    """Bottom-up step: probe each candidate's neighbours in the frontier mask.
+
+    *mask* is the bit-packed previous frontier (one bit per flat key); a
+    candidate joins the level iff any neighbour's bit is set, and the scan
+    short-circuits on the first hit.  Stamps *dist* in place and returns the
+    per-candidate found flags (the caller splits *cand* on them, matching
+    ``_bottom_up_level``'s ``(frontier, remaining)`` contract).
+    """
+    found = np.zeros(cand.shape[0], np.bool_)
+    for i in range(cand.shape[0]):
+        key = cand[i]
+        node = key % n
+        base = key - node
+        for p in range(indptr[node], indptr[node + 1]):
+            nbr_key = base + indices[p]
+            if (mask[nbr_key >> 3] >> (nbr_key & 7)) & 1:
+                dist[key] = level
+                found[i] = True
+                break
+    return found
+
+
+@njit(cache=True)
+def next_local_fill(indptr, indices, dist_block, out):
+    """Batched hop-table fill: first CSR slot one level closer, else -1.
+
+    Row ``r`` of *dist_block* is a genuine BFS distance array; for every node
+    ``u`` with ``dist > 0`` the first CSR neighbour at ``dist - 1`` is the
+    lexicographic ``(distance, id)`` minimum (CSR lists are sorted), i.e.
+    exactly what :func:`repro.graphs.oracle.next_local_pointers` selects.
+    Targets (``dist == 0``) and unreachable nodes (``dist == -1``) keep -1.
+    """
+    k, n = dist_block.shape
+    for r in range(k):
+        for u in range(n):
+            du = dist_block[r, u]
+            hop = -1
+            if du > 0:
+                want = du - 1
+                for p in range(indptr[u], indptr[u + 1]):
+                    v = indices[p]
+                    if dist_block[r, v] == want:
+                        hop = v
+                        break
+            out[r, u] = hop
+
+
+def warmup_kernels() -> None:
+    """Compile every kernel for both sweep state dtypes on tiny inputs.
+
+    Called (once, timed) through :meth:`KernelBackend.warmup`.  The CSR
+    arrays are always int64 (:class:`repro.graphs.graph.Graph` invariant);
+    the state dtype is whatever :func:`~repro.graphs.frontier.bfs_dtype`
+    picked, so both int32 and int64 signatures are pre-compiled here.
+    """
+    indptr = np.array([0, 1, 3, 4], dtype=np.int64)  # path 0 - 1 - 2
+    indices = np.array([1, 0, 2, 1], dtype=np.int64)
+    n = 3
+    for dt in (np.int32, np.int64):
+        dist = np.full(n, -1, dtype=dt)
+        dist[0] = 0
+        frontier = np.zeros(1, dtype=dt)
+        top_down_csr(indptr, indices, dist, frontier, n, 1)
+
+        pad = np.zeros((2, n), dtype=dt)
+        pad[0, 0] = 1
+        pad[0, 1] = -1
+        pad[1, 1] = 1
+        pad[1, 2] = -1
+        dist = np.full(n, -1, dtype=dt)
+        dist[0] = 0
+        top_down_padded(pad, dist, np.zeros(1, dtype=dt), n, 1)
+
+        mask = np.zeros(1, dtype=np.uint8)
+        mask[0] = 1  # key 0 is the previous frontier
+        dist = np.full(n, -1, dtype=dt)
+        dist[0] = 0
+        bottom_up_csr(indptr, indices, dist, np.array([1, 2], dtype=dt), mask, n, 1)
+
+        dist_block = np.array([[0, 1, 2]], dtype=dt)
+        out = np.full((1, n), -1, dtype=dt)
+        next_local_fill(indptr, indices, dist_block, out)

@@ -64,6 +64,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graphs import kernels
 from repro.graphs.frontier import (
     UNREACHABLE,
     bfs_distances_many,
@@ -206,6 +207,15 @@ def next_local_pointers_many(
     k, n = dist_block.shape
     out = np.full((k, n), -1, dtype=bfs_dtype(n))
     if k == 0 or n == 0 or graph.indices.size == 0:
+        return out
+    kb = kernels.active_backend()
+    if kb.next_local_fill is not None:
+        # Compiled fill: a typed first-improving-CSR-slot scan per (row,
+        # node).  It needs neither the padded adjacency nor the composite-key
+        # trick — the early break *is* the lexicographic minimum, because CSR
+        # neighbour lists are sorted — so it also covers the hub-dominated
+        # graphs the padded fast path rejects.
+        kb.next_local_fill(graph.indptr, graph.indices, dist_block, out)
         return out
     if padded is None:
         padded = padded_adjacency(graph)
