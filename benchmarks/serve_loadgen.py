@@ -1,0 +1,184 @@
+"""Closed-loop load generator for the ``repro serve`` daemon.
+
+Drives a running daemon with a fixed number of in-flight route queries
+(*closed loop*: each worker issues its next query only after the previous
+response arrives, so the measured throughput is the daemon's, not the
+generator's ability to flood a socket).  Workers share a small pool of
+pipelined connections (:class:`repro.serve.client.AsyncRouteClient`), query
+targets are drawn from the daemon's warmed routing-block pool (reported by
+``info``) so the steady-state rate is measured rather than BFS warm-up, and
+sources are uniform over the graph.
+
+Produces a :class:`LoadReport` with queries-per-second and p50/p99 response
+latency — the numbers ``benchmarks/test_bench_serve.py`` records as
+``serve_qps`` / ``serve_latency`` rows in ``BENCH_routing.json``.
+
+Standalone use::
+
+    PYTHONPATH=src python -m repro serve ring -n 50000 --port 8642 &
+    PYTHONPATH=src:benchmarks python benchmarks/serve_loadgen.py \
+        127.0.0.1 8642 --queries 20000 --concurrency 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.client import AsyncRouteClient
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One closed-loop run: volume, error count and the latency distribution."""
+
+    queries: int
+    errors: int
+    seconds: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+
+    def to_results(self) -> dict:
+        """The dict recorded into ``BENCH_routing.json``."""
+        return {
+            "queries": self.queries,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 4),
+            "qps": round(self.qps, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+async def _run_load_async(
+    host: str,
+    port: int,
+    *,
+    num_queries: int,
+    concurrency: int,
+    connections: int,
+    seed: int,
+    pairs: Optional[Sequence[Tuple[int, int]]],
+) -> LoadReport:
+    connections = max(1, min(connections, concurrency))
+    clients = [await AsyncRouteClient().connect(host, port) for _ in range(connections)]
+    try:
+        if pairs is None:
+            info = await clients[0].info()
+            n = int(info["n"])
+            warmed = [int(t) for t in info.get("warmed_targets") or []]
+            rng = np.random.default_rng(seed)
+            sources = rng.integers(0, n, size=num_queries)
+            if warmed:
+                targets = rng.choice(np.asarray(warmed, dtype=np.int64), size=num_queries)
+            else:
+                targets = rng.integers(0, n, size=num_queries)
+            pairs = [
+                (int(s), int(t)) for s, t in zip(sources, targets)
+            ]
+        queue = iter(list(pairs)[:num_queries])
+        latencies: List[float] = []
+        errors = 0
+
+        async def worker(worker_id: int) -> None:
+            nonlocal errors
+            client = clients[worker_id % connections]
+            # One event loop: plain next() on the shared iterator is race-free.
+            for source, target in queue:
+                started = time.perf_counter()
+                try:
+                    response = await client.route(source, target)
+                except ConnectionError:
+                    errors += 1
+                    return
+                latencies.append(time.perf_counter() - started)
+                if not response.get("ok"):
+                    errors += 1
+
+        started = time.perf_counter()
+        await asyncio.gather(*(worker(i) for i in range(concurrency)))
+        elapsed = time.perf_counter() - started
+    finally:
+        for client in clients:
+            await client.close()
+
+    done = len(latencies)
+    lat_ms = np.asarray(latencies) * 1000.0 if done else np.zeros(1)
+    return LoadReport(
+        queries=done,
+        errors=errors,
+        seconds=elapsed,
+        qps=done / elapsed if elapsed > 0 else 0.0,
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+    )
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    num_queries: int = 10_000,
+    concurrency: int = 256,
+    connections: int = 4,
+    seed: int = 0,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> LoadReport:
+    """Run one closed-loop load against a daemon and return its report.
+
+    ``concurrency`` is the closed-loop width (in-flight queries), fanned over
+    ``connections`` pipelined sockets.  ``pairs`` overrides the generated
+    (source, target) stream — used by the bench's identity spot-check.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be at least 1")
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    return asyncio.run(
+        _run_load_async(
+            host,
+            port,
+            num_queries=num_queries,
+            concurrency=concurrency,
+            connections=connections,
+            seed=seed,
+            pairs=pairs,
+        )
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="closed-loop load for repro serve")
+    parser.add_argument("host")
+    parser.add_argument("port", type=int)
+    parser.add_argument("--queries", type=int, default=10_000)
+    parser.add_argument("--concurrency", type=int, default=256)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = run_load(
+        args.host,
+        args.port,
+        num_queries=args.queries,
+        concurrency=args.concurrency,
+        connections=args.connections,
+        seed=args.seed,
+    )
+    print(
+        f"{report.queries} queries ({report.errors} errors) in "
+        f"{report.seconds:.2f}s -> {report.qps:.0f} qps, "
+        f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms"
+    )
+    return 0 if report.errors == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

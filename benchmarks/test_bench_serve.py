@@ -1,0 +1,180 @@
+"""Benchmark: the ``repro serve`` daemon under closed-loop load.
+
+Boots the real daemon (``python -m repro serve``) as a subprocess on a ring
+of n = 50k with the uniform scheme and a 32-target warmed routing-block
+pool, then drives it with the closed-loop generator
+(:mod:`serve_loadgen`):
+
+* **smoke** — 200 concurrent queries over 2 pipelined connections must all
+  succeed (zero errors) with a sane p99;
+* **throughput** — a 1024-wide closed loop must sustain the issue's
+  acceptance gate of >= 5000 queries/second (one retry absorbs a noisy
+  machine);
+* **identity** — a spot-check that the daemon's batched answers (steps and
+  lane seed) are exactly what a local :func:`repro.open_session` session
+  produces for the same (source, target) under the same seed policy.
+
+Both load runs append ``serve_qps`` / ``serve_latency`` records to
+``BENCH_routing.json`` so ``tools/check_bench_trend.py`` gates the serving
+trajectory like every other perf kind.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from bench_recording import append_record
+from serve_loadgen import run_load
+
+_FAMILY = "ring"
+_N = 50_000
+_SCHEME = "uniform"
+_SEED = 20070610
+_WARM_TARGETS = 32
+_QPS_GATE = 5000.0
+
+_LISTENING = re.compile(r"repro serve: listening on ([\d.]+):(\d+)")
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """A live ``repro serve`` subprocess; yields ``(host, port)``."""
+    root = Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            _FAMILY,
+            "-n",
+            str(_N),
+            "--seed",
+            str(_SEED),
+            "--scheme",
+            _SCHEME,
+            "--port",
+            "0",
+            "--warm-targets",
+            str(_WARM_TARGETS),
+        ],
+        cwd=root,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        line = ""
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line and process.poll() is not None:
+                raise RuntimeError(f"daemon exited early (rc={process.returncode})")
+            match = _LISTENING.search(line)
+            if match:
+                break
+        else:
+            raise RuntimeError("daemon never printed its listening line")
+        yield match.group(1), int(match.group(2))
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+
+
+def test_serve_smoke_concurrent_queries(daemon):
+    host, port = daemon
+    report = run_load(
+        host, port, num_queries=200, concurrency=200, connections=2, seed=_SEED
+    )
+    print()
+    print(
+        f"serve smoke: {report.queries} queries, {report.errors} errors, "
+        f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms"
+    )
+    assert report.queries == 200
+    assert report.errors == 0
+    # Generous bound: a 1 ms batching window plus one lane sweep per batch
+    # should answer in tens of ms even on a loaded CI box.
+    assert report.p99_ms < 2000.0
+    append_record(
+        [{**report.to_results(), "n": _N}],
+        benchmark="serve_latency",
+        mode="smoke",
+        config={
+            "family": _FAMILY,
+            "n": _N,
+            "scheme": _SCHEME,
+            "seed": _SEED,
+            "concurrency": 200,
+            "connections": 2,
+        },
+    )
+
+
+def test_serve_throughput_gate(daemon):
+    host, port = daemon
+    report = None
+    for attempt in range(2):  # one retry absorbs a noisy machine
+        report = run_load(
+            host, port, num_queries=16_000, concurrency=1024, connections=8, seed=_SEED
+        )
+        print()
+        print(
+            f"serve throughput (attempt {attempt + 1}): "
+            f"{report.qps:.0f} qps, {report.errors} errors, "
+            f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms"
+        )
+        if report.errors == 0 and report.qps >= _QPS_GATE:
+            break
+    assert report.errors == 0
+    assert report.qps >= _QPS_GATE, (
+        f"daemon sustained {report.qps:.0f} qps, below the {_QPS_GATE:.0f} gate"
+    )
+    append_record(
+        [{**report.to_results(), "n": _N}],
+        benchmark="serve_qps",
+        mode="closed-loop",
+        config={
+            "family": _FAMILY,
+            "n": _N,
+            "scheme": _SCHEME,
+            "seed": _SEED,
+            "concurrency": 1024,
+            "connections": 8,
+        },
+    )
+
+
+def test_serve_results_match_local_session(daemon):
+    from repro import open_session
+    from repro.serve.client import RouteServiceClient
+
+    host, port = daemon
+    with RouteServiceClient(host, port) as client:
+        warmed = client.info()["warmed_targets"]
+        pairs = [(13 + 97 * i, warmed[i % len(warmed)]) for i in range(8)]
+        served = client.route_many(pairs)
+    with open_session(_FAMILY, _N, seed=_SEED, scheme=_SCHEME) as session:
+        for (source, target), response in zip(pairs, served):
+            assert response["ok"], response
+            local = session.route(source, target)
+            assert local.ok
+            assert response["seed"] == local.seed
+            assert response["steps"] == local.steps
+            assert response["success"] == local.success
+            assert response["long_links"] == local.long_links
+            assert response["distance"] == local.graph_distance

@@ -25,11 +25,24 @@ Quickstart
 >>> result = estimate_greedy_diameter(g, scheme, num_pairs=16, trials=8, seed=2)
 >>> result.mean < 512
 True
+
+Or, for repeated queries against one instance, the session API — it owns
+instance acquisition, oracle warmup and kernel-backend selection, and is
+what ``repro serve`` runs behind its TCP daemon:
+
+>>> from repro import open_session
+>>> with open_session("ring", 512, seed=0, scheme="uniform") as session:
+...     outcome = session.route(3, 400)
+...     outcome.success
+True
 """
+
+import warnings as _warnings
 
 from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.graphs.builders import GraphBuilder
+from repro.graphs.families import GRAPH_FAMILIES, build_family_graph
 from repro.core.base import AugmentationScheme, AugmentedGraph
 from repro.core.uniform import UniformScheme
 from repro.core.kleinberg import DistancePowerScheme
@@ -37,19 +50,19 @@ from repro.core.matrix import AugmentationMatrix, MatrixScheme
 from repro.core.matrix_label import Theorem2Scheme
 from repro.core.ball_scheme import BallScheme
 from repro.core.registry import make_scheme, available_schemes
-from repro.routing.simulator import (
-    estimate_expected_steps,
-    estimate_greedy_diameter,
-)
+from repro.routing.simulator import estimate_greedy_diameter
 from repro.routing.greedy import greedy_route
 from repro.decomposition.pathshape import estimate_pathshape
+from repro.session import RoutingSession, derive_query_seed, open_session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
     "GraphBuilder",
     "generators",
+    "GRAPH_FAMILIES",
+    "build_family_graph",
     "AugmentationScheme",
     "AugmentedGraph",
     "UniformScheme",
@@ -64,5 +77,30 @@ __all__ = [
     "estimate_expected_steps",
     "estimate_greedy_diameter",
     "estimate_pathshape",
+    "RoutingSession",
+    "open_session",
+    "derive_query_seed",
     "__version__",
 ]
+
+
+def estimate_expected_steps(*args, **kwargs):
+    """Deprecated top-level alias for batched Monte-Carlo step estimation.
+
+    .. deprecated:: 1.1
+        ``repro.estimate_expected_steps`` remains for backward compatibility
+        but now emits a :class:`DeprecationWarning`.  Prefer
+        :meth:`RoutingSession.route_many` (which reuses the session's warmed
+        oracle), or import the function directly from
+        :mod:`repro.routing.simulator` for one-off estimates.
+    """
+    _warnings.warn(
+        "repro.estimate_expected_steps is deprecated; use "
+        "repro.open_session(...).route_many(...) or import "
+        "estimate_expected_steps from repro.routing.simulator",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.routing.simulator import estimate_expected_steps as _impl
+
+    return _impl(*args, **kwargs)

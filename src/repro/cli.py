@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Four subcommands cover the library's day-to-day uses without writing Python:
+Five subcommands cover the library's day-to-day uses without writing Python:
 
 * ``repro graph``      — generate a graph and print its basic statistics,
 * ``repro pathshape``  — estimate the pathshape of a generated graph,
 * ``repro route``      — estimate the greedy diameter of a (graph, scheme) pair,
+* ``repro serve``      — run the long-lived micro-batching route daemon
+  (NDJSON over TCP; see :mod:`repro.serve`),
 * ``repro experiment`` — run one or all of the paper's experiments
   (``--jobs`` fans the sweep's cells out over processes, ``--out`` persists
   per-cell JSON artifacts, ``--resume`` skips already-computed cells,
@@ -16,6 +18,13 @@ Four subcommands cover the library's day-to-day uses without writing Python:
   ``--stats`` reports hit rates, memory use and which kernel backend served
   each cell).
 
+The flags every subcommand repeats (``--size/-n``, ``--seed``, ``--engine``,
+``--kernel-backend``, ``--jobs``) are defined once as argparse *parent
+parsers* (:func:`_instance_flags` and friends) so their types, defaults and
+help stay consistent across subcommands.  Invalid flag combinations raise
+:class:`UsageError`, which ``main`` renders as a one-line message with exit
+status 2 — never a traceback.
+
 Invoke as ``python -m repro <subcommand> ...``.
 """
 
@@ -26,7 +35,7 @@ import os
 import re
 import sys
 import tempfile
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
 from repro.core.registry import available_schemes, make_scheme
@@ -34,28 +43,22 @@ from repro.decomposition.pathshape import estimate_pathshape
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.lease import DEFAULT_LEASE_TTL
 from repro.experiments.runner import EXPERIMENT_MODULES, render_markdown, run_all
-from repro.graphs import generators, kernels
+from repro.graphs import kernels
+from repro.graphs.families import GRAPH_FAMILIES, build_family_graph
 from repro.graphs.distances import diameter
 from repro.graphs.graph import Graph
 from repro.routing.simulator import ROUTING_ENGINES, estimate_greedy_diameter
 
-__all__ = ["main", "build_parser", "GRAPH_FAMILIES"]
+__all__ = ["main", "build_parser", "GRAPH_FAMILIES", "UsageError"]
 
-#: CLI-exposed graph families: name -> factory(n, seed) -> Graph.
-GRAPH_FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
-    "path": lambda n, seed: generators.path_graph(n),
-    "ring": lambda n, seed: generators.cycle_graph(n),
-    "grid2d": lambda n, seed: generators.grid_graph([max(2, int(round(n ** 0.5)))] * 2),
-    "torus2d": lambda n, seed: generators.torus_graph([max(3, int(round(n ** 0.5)))] * 2),
-    "tree": lambda n, seed: generators.random_tree(n, seed=seed),
-    "caterpillar": lambda n, seed: generators.caterpillar_graph(max(2, n // 2), 1),
-    "spider": lambda n, seed: generators.spider_graph(4, max(1, (n - 1) // 4)),
-    "interval": lambda n, seed: generators.random_interval_graph(n, seed=seed)[0],
-    "permutation": lambda n, seed: generators.random_permutation_graph(n, seed=seed)[0],
-    "lollipop": lambda n, seed: generators.lollipop_graph(max(4, n // 8), n - max(4, n // 8)),
-    "watts-strogatz": lambda n, seed: generators.watts_strogatz_graph(max(8, n), 4, 0.1, seed=seed),
-    "erdos-renyi": lambda n, seed: generators.erdos_renyi_graph(n, min(1.0, 4.0 / max(1, n)), seed=seed),
-}
+
+class UsageError(Exception):
+    """An invalid flag combination or argument value.
+
+    Raised by subcommand handlers; :func:`main` prints ``error: <message>``
+    to stderr and exits with status 2 (argparse's own usage-error status), so
+    misuse never surfaces as a traceback.
+    """
 
 
 #: Multipliers for ``--oracle-max-bytes`` size suffixes (binary units).
@@ -101,12 +104,45 @@ def _ensure_writable_dir(path: str, flag: str) -> Optional[str]:
 
 def _make_graph(family: str, size: int, seed: int) -> Graph:
     try:
-        factory = GRAPH_FAMILIES[family]
-    except KeyError as exc:
-        raise SystemExit(
-            f"unknown graph family {family!r}; choose from {', '.join(sorted(GRAPH_FAMILIES))}"
-        ) from exc
-    return factory(size, seed)
+        return build_family_graph(family, size, seed)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from exc
+
+
+# --------------------------------------------------------------------------- #
+# Shared flag groups (argparse parent parsers)
+# --------------------------------------------------------------------------- #
+
+def _instance_flags(default_size: int) -> argparse.ArgumentParser:
+    """``--size/-n`` + ``--seed``: the (n, seed) of a generated instance."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--size", "-n", type=int, default=default_size,
+                        help=f"number of nodes (default {default_size})")
+    parent.add_argument("--seed", type=int, default=0,
+                        help="master seed for the instance (default 0)")
+    return parent
+
+
+def _engine_flags(help_text: str) -> argparse.ArgumentParser:
+    """``--engine``: the Monte-Carlo routing engine."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--engine", choices=ROUTING_ENGINES, default="lane", help=help_text)
+    return parent
+
+
+def _kernel_flags(help_text: str) -> argparse.ArgumentParser:
+    """``--kernel-backend``: the BFS/hop-table kernel implementation."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--kernel-backend", choices=kernels.BACKEND_CHOICES, help=help_text)
+    return parent
+
+
+def _jobs_flags() -> argparse.ArgumentParser:
+    """``--jobs``: worker-process fan-out."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the cell sweep")
+    return parent
 
 
 # --------------------------------------------------------------------------- #
@@ -178,6 +214,88 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    import numpy as np
+
+    from repro.serve.server import RouteServer
+    from repro.session import open_session
+
+    if args.engine != "lane":
+        raise UsageError("repro serve batches queries as lanes; only --engine lane is supported")
+    if args.max_batch < 1:
+        raise UsageError("--max-batch must be at least 1")
+    if args.window_ms < 0:
+        raise UsageError("--window-ms must be non-negative")
+    if args.warm_targets < 0:
+        raise UsageError("--warm-targets must be non-negative")
+    if not 0 <= args.port <= 65535:
+        raise UsageError(f"--port must be in [0, 65535], got {args.port}")
+    if args.scheme not in available_schemes():
+        raise UsageError(
+            f"unknown scheme {args.scheme!r} (available: {', '.join(available_schemes())})"
+        )
+
+    session = open_session(
+        args.family,
+        args.size,
+        seed=args.seed,
+        scheme=args.scheme,
+        oracle_max_bytes=args.oracle_max_bytes,
+        kernel_backend=args.kernel_backend,
+    )
+    n = session.graph.num_nodes
+    warm = min(args.warm_targets, n)
+    if warm:
+        targets = np.random.default_rng(args.seed).choice(n, size=warm, replace=False)
+        session.warm(targets)
+
+    server = RouteServer(
+        session,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        window=args.window_ms / 1000.0,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        # The parseable readiness line load generators and tests wait for.
+        print(
+            f"repro serve: listening on {server.host}:{server.port} "
+            f"(family={args.family} n={n} scheme={args.scheme} seed={args.seed})",
+            flush=True,
+        )
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop_requested.wait()
+        serving.cancel()
+        await asyncio.gather(serving, return_exceptions=True)
+        await server.stop()
+        stats = server.batcher.stats
+        print(
+            f"repro serve: stopped after {stats['submitted']} queries "
+            f"in {stats['batches']} batches",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler platforms cover this
+        pass
+    finally:
+        session.close()
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.kernel_backend:
         # Recorded in the environment (so --jobs/--shard workers inherit it),
@@ -190,20 +308,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         config = config.scaled(sizes=list(args.sizes))
     only = args.only if args.only else None
     if args.jobs < 1:
-        print("--jobs must be at least 1", file=sys.stderr)
-        return 1
+        raise UsageError("--jobs must be at least 1")
     if args.resume and not args.out:
-        print("--resume requires --out (the artifact directory to resume from)", file=sys.stderr)
-        return 1
+        raise UsageError("--resume requires --out (the artifact directory to resume from)")
     if args.shard and not args.out:
-        print("--shard requires --out (the artifact directory to drain)", file=sys.stderr)
-        return 1
+        raise UsageError("--shard requires --out (the artifact directory to drain)")
     for path, flag in ((args.out, "--out"), (args.graph_cache, "--graph-cache")):
         if path:
             error = _ensure_writable_dir(path, flag)
             if error is not None:
-                print(error, file=sys.stderr)
-                return 1
+                raise UsageError(error)
     stats: dict = {}
     try:
         results = run_all(
@@ -308,24 +422,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_graph = sub.add_parser("graph", help="generate a graph and print statistics")
+    p_graph = sub.add_parser(
+        "graph",
+        help="generate a graph and print statistics",
+        parents=[_instance_flags(256)],
+    )
     p_graph.add_argument("family", choices=sorted(GRAPH_FAMILIES))
-    p_graph.add_argument("--size", "-n", type=int, default=256)
-    p_graph.add_argument("--seed", type=int, default=0)
     p_graph.add_argument("--diameter", action="store_true", help="also compute the diameter")
     p_graph.set_defaults(handler=_cmd_graph)
 
-    p_shape = sub.add_parser("pathshape", help="estimate the pathshape of a graph")
+    p_shape = sub.add_parser(
+        "pathshape",
+        help="estimate the pathshape of a graph",
+        parents=[_instance_flags(256)],
+    )
     p_shape.add_argument("family", choices=sorted(GRAPH_FAMILIES))
-    p_shape.add_argument("--size", "-n", type=int, default=256)
-    p_shape.add_argument("--seed", type=int, default=0)
     p_shape.add_argument("--lengths", action="store_true", help="evaluate bag lengths (slower, tighter)")
     p_shape.set_defaults(handler=_cmd_pathshape)
 
-    p_route = sub.add_parser("route", help="estimate the greedy diameter under one or more schemes")
+    p_route = sub.add_parser(
+        "route",
+        help="estimate the greedy diameter under one or more schemes",
+        parents=[
+            _instance_flags(512),
+            _engine_flags("Monte-Carlo routing engine (lane = vectorized, scalar = reference loop)"),
+            _kernel_flags(
+                "BFS/hop-table kernel backend (auto = numba when installed; "
+                "results are backend-invariant)"
+            ),
+        ],
+    )
     p_route.add_argument("family", choices=sorted(GRAPH_FAMILIES))
-    p_route.add_argument("--size", "-n", type=int, default=512)
-    p_route.add_argument("--seed", type=int, default=0)
     p_route.add_argument("--pairs", type=int, default=8)
     p_route.add_argument("--trials", type=int, default=8)
     p_route.add_argument(
@@ -334,23 +461,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=["uniform", "ball"],
         help=f"schemes to compare (available: {', '.join(available_schemes())})",
     )
-    p_route.add_argument(
-        "--engine",
-        choices=ROUTING_ENGINES,
-        default="lane",
-        help="Monte-Carlo routing engine (lane = vectorized, scalar = reference loop)",
-    )
-    p_route.add_argument(
-        "--kernel-backend",
-        choices=kernels.BACKEND_CHOICES,
-        help=(
-            "BFS/hop-table kernel backend (auto = numba when installed; "
-            "results are backend-invariant)"
-        ),
-    )
     p_route.set_defaults(handler=_cmd_route)
 
-    p_exp = sub.add_parser("experiment", help="run the paper's experiments")
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the micro-batching route daemon (NDJSON over TCP)",
+        parents=[
+            _instance_flags(4096),
+            _engine_flags("routing engine (the daemon batches lanes; only 'lane' is supported)"),
+            _kernel_flags("BFS/hop-table kernel backend warmed before the session opens"),
+        ],
+    )
+    p_serve.add_argument("family", choices=sorted(GRAPH_FAMILIES))
+    p_serve.add_argument(
+        "--scheme",
+        default="uniform",
+        help=f"augmentation scheme to serve (available: {', '.join(available_schemes())})",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="TCP port; 0 lets the OS pick (default 0)"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=512,
+        help="flush a micro-batch as soon as this many queries are pending (default 512)",
+    )
+    p_serve.add_argument(
+        "--window-ms", type=float, default=1.0,
+        help="flush a micro-batch this many ms after its first query (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--warm-targets", type=int, default=32,
+        help="routing-block rows to precompute before accepting queries (default 32)",
+    )
+    p_serve.add_argument(
+        "--oracle-max-bytes",
+        type=parse_byte_size,
+        metavar="BYTES",
+        help="byte budget for the session oracle's resident memory (e.g. 512M)",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_exp = sub.add_parser(
+        "experiment",
+        help="run the paper's experiments",
+        parents=[
+            _engine_flags("Monte-Carlo routing engine (part of the artifact fingerprint)"),
+            _kernel_flags(
+                "BFS/hop-table kernel backend, exported via REPRO_KERNEL_BACKEND "
+                "so --jobs/--shard workers inherit it (NOT part of the artifact "
+                "fingerprint: results are backend-invariant)"
+            ),
+            _jobs_flags(),
+        ],
+    )
     p_exp.add_argument(
         "--only",
         nargs="*",
@@ -358,7 +522,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--quick", action="store_true", help="use the small benchmark configuration")
     p_exp.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
-    p_exp.add_argument("--jobs", type=int, default=1, help="worker processes for the cell sweep")
     p_exp.add_argument(
         "--sizes",
         nargs="+",
@@ -409,21 +572,6 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print GraphStore cache-hit and memory statistics to stderr after the sweep",
     )
-    p_exp.add_argument(
-        "--engine",
-        choices=ROUTING_ENGINES,
-        default="lane",
-        help="Monte-Carlo routing engine (part of the artifact fingerprint)",
-    )
-    p_exp.add_argument(
-        "--kernel-backend",
-        choices=kernels.BACKEND_CHOICES,
-        help=(
-            "BFS/hop-table kernel backend, exported via REPRO_KERNEL_BACKEND "
-            "so --jobs/--shard workers inherit it (NOT part of the artifact "
-            "fingerprint: results are backend-invariant)"
-        ),
-    )
     p_exp.set_defaults(handler=_cmd_experiment)
 
     return parser
@@ -433,7 +581,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return int(args.handler(args))
+    try:
+        return int(args.handler(args))
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

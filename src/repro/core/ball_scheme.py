@@ -70,6 +70,7 @@ class BallScheme(AugmentationScheme):
     """
 
     scheme_name = "ball"
+    uniforms_per_contact = 2  # level draw + uniform ball-member pick
 
     def __init__(
         self,
@@ -233,6 +234,35 @@ class BallScheme(AugmentationScheme):
             nonempty = counts > 0
             out[lanes[nonempty]] = ids[picks[nonempty]]
         return out.reshape(nodes.shape)
+
+    def sample_contacts_from_uniforms(
+        self, nodes: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Entry-pure ball sampling: ``uniforms[0]`` → level, ``uniforms[1]`` → member.
+
+        Mirrors :meth:`sample_contacts` draw-for-draw but each entry consumes
+        only its own two uniforms, so the pick is a pure function of
+        ``(nodes[i], uniforms[:, i])`` (the batch-invariance contract).
+        """
+        if not self._batch_matches_scalar(BallScheme):
+            return super().sample_contacts_from_uniforms(nodes, uniforms)
+        nodes = self._coerce_batch(nodes)
+        uniforms = self._coerce_uniforms(nodes, uniforms)
+        if nodes.size == 0:
+            return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        out = np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        levels = np.searchsorted(self._level_cumulative, uniforms[0], side="right") + 1
+        radii = np.int64(1) << np.minimum(levels, 62).astype(np.int64)
+        uniq, inverse = np.unique(nodes, return_inverse=True)
+        self._oracle.prefetch(uniq.tolist())
+        for j, node in enumerate(uniq.tolist()):
+            lanes = np.nonzero(inverse == j)[0]
+            sorted_d, ids = self._ball_profile(int(node))
+            counts = np.searchsorted(sorted_d, radii[lanes], side="right")
+            picks = (uniforms[1, lanes] * counts).astype(np.int64)
+            nonempty = counts > 0
+            out[lanes[nonempty]] = ids[picks[nonempty]]
+        return out
 
     def contact_distribution(self, node: int) -> np.ndarray:
         """Exact ``φ_u`` from the closed form ``(1/⌈log n⌉)·Σ_{k ≥ r(v)} 1/|B_k(u)|``."""

@@ -56,6 +56,12 @@ class AugmentationScheme(abc.ABC):
     #: short machine-readable identifier used in experiment reports.
     scheme_name: str = "abstract"
 
+    #: Number of uniform variates one contact draw consumes in
+    #: :meth:`sample_contacts_from_uniforms` (bounded by
+    #: :data:`repro.utils.counterrng.MAX_UNIFORM_ROWS`).  Native overrides
+    #: set it to match their sampler's consumption pattern.
+    uniforms_per_contact: int = 1
+
     def __init__(self, graph: Graph, *, seed: RngLike = None) -> None:
         if graph.num_nodes == 0:
             raise ValueError("augmentation requires a non-empty graph")
@@ -114,6 +120,50 @@ class AugmentationScheme(abc.ABC):
             if contact is not None:
                 flat[i] = int(contact)
         return out
+
+    def sample_contacts_from_uniforms(
+        self, nodes: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Draw one contact per entry of *nodes* from caller-supplied uniforms.
+
+        *uniforms* has shape ``(uniforms_per_contact, len(nodes))`` with
+        values in ``[0, 1)``; entry ``i`` must be sampled as a **pure
+        function of** ``(nodes[i], uniforms[:, i])``, independent of every
+        other entry.  That per-entry purity is the *batch-invariance
+        contract*: feed counter-based uniforms
+        (:func:`repro.utils.counterrng.lane_step_uniforms`) and a lane's
+        trajectory no longer depends on which other lanes share its batch —
+        the property the serve layer's micro-batching relies on.
+
+        For uniforms drawn uniformly the result is distributed as
+        :meth:`sample_contact`.  Native overrides mirror each scheme's
+        batched sampler; this base fallback seeds one tiny ``Generator`` per
+        entry from its first uniform and delegates to the scalar sampler, so
+        subclasses that only override :meth:`sample_contact` stay correct
+        (equal in distribution, entry-pure) at scalar-loop speed.
+        """
+        nodes = self._coerce_batch(nodes)
+        uniforms = self._coerce_uniforms(nodes, uniforms)
+        out = np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        for i, u in enumerate(nodes.tolist()):
+            entry_rng = np.random.default_rng(int(uniforms[0, i] * 2.0**53))
+            contact = self.sample_contact(int(u), entry_rng)
+            if contact is not None:
+                out[i] = int(contact)
+        return out
+
+    def _coerce_uniforms(self, nodes: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Validate a ``(uniforms_per_contact, len(nodes))`` uniform block."""
+        uniforms = np.asarray(uniforms, dtype=np.float64)
+        if nodes.ndim != 1:
+            raise ValueError("sample_contacts_from_uniforms expects a 1-D node batch")
+        expected = (type(self).uniforms_per_contact, nodes.shape[0])
+        if uniforms.shape != expected:
+            raise ValueError(
+                f"uniforms must have shape (uniforms_per_contact, len(nodes)) = "
+                f"{expected}, got {uniforms.shape}"
+            )
+        return uniforms
 
     def _coerce_batch(self, nodes: np.ndarray) -> np.ndarray:
         """Validate a batch of node indices for the native vectorized samplers.

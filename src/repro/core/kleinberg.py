@@ -116,6 +116,32 @@ class DistancePowerScheme(AugmentationScheme):
             out[lanes] = np.minimum(picks, n - 1)
         return out.reshape(nodes.shape)
 
+    def sample_contacts_from_uniforms(
+        self, nodes: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Entry-pure inverse-CDF sampling from caller-supplied uniforms.
+
+        Same ``searchsorted`` as :meth:`sample_contacts`, but entry ``i``'s
+        pick is a pure function of ``(nodes[i], uniforms[0, i])`` — the
+        batch-invariance contract of the base method.
+        """
+        if not self._batch_matches_scalar(DistancePowerScheme):
+            return super().sample_contacts_from_uniforms(nodes, uniforms)
+        nodes = self._coerce_batch(nodes)
+        uniforms = self._coerce_uniforms(nodes, uniforms)
+        n = self._graph.num_nodes
+        out = np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        uniq, inverse = np.unique(nodes, return_inverse=True)
+        for j, node in enumerate(uniq.tolist()):
+            lanes = np.nonzero(inverse == j)[0]
+            cumulative = self._cumulative_probabilities(int(node))
+            total = float(cumulative[-1]) if cumulative.size else 0.0
+            if total <= 0.0:
+                continue
+            picks = np.searchsorted(cumulative, uniforms[0, lanes] * total, side="right")
+            out[lanes] = np.minimum(picks, n - 1)
+        return out
+
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)
         return self._probabilities(node).copy()

@@ -174,6 +174,7 @@ class MatrixScheme(AugmentationScheme):
     """
 
     scheme_name = "matrix"
+    uniforms_per_contact = 2  # target-label draw + uniform group-member pick
 
     def __init__(
         self,
@@ -294,6 +295,43 @@ class MatrixScheme(AugmentationScheme):
             picks = generator.integers(0, candidates.size, size=lanes.size)
             out[lanes] = candidates[picks]
         return out.reshape(nodes.shape)
+
+    def sample_contacts_from_uniforms(
+        self, nodes: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Entry-pure two-stage matrix sampling from caller-supplied uniforms.
+
+        ``uniforms[0]`` drives the target-label draw (values past the row's
+        total mass are Definition 1's sub-stochastic residual — no link),
+        ``uniforms[1]`` the uniform member pick; each entry consumes only its
+        own column, per the batch-invariance contract.
+        """
+        if not self._batch_matches_scalar(MatrixScheme):
+            return super().sample_contacts_from_uniforms(nodes, uniforms)
+        nodes = self._coerce_batch(nodes)
+        uniforms = self._coerce_uniforms(nodes, uniforms)
+        if nodes.size == 0:
+            return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        out = np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        target_labels = np.zeros(nodes.shape, dtype=np.int64)  # 0 = no link
+        source_labels = self._labels[nodes]
+        for label in np.unique(source_labels).tolist():
+            lanes = np.nonzero(source_labels == label)[0]
+            cumulative = self._cumulative_row(int(label))
+            draws = uniforms[0, lanes]
+            total = float(cumulative[-1]) if cumulative.size else 0.0
+            picked = np.searchsorted(cumulative, draws, side="right") + 1
+            target_labels[lanes] = np.where(draws < total, picked, 0)
+        for label in np.unique(target_labels).tolist():
+            if label == 0:
+                continue
+            candidates = self._groups.get(int(label))
+            lanes = np.nonzero(target_labels == label)[0]
+            if candidates is None or candidates.size == 0:
+                continue
+            picks = (uniforms[1, lanes] * candidates.size).astype(np.int64)
+            out[lanes] = candidates[picks]
+        return out
 
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)

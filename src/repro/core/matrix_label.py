@@ -97,6 +97,7 @@ class Theorem2Scheme(AugmentationScheme):
     """
 
     scheme_name = "theorem2"
+    uniforms_per_contact = 3  # mixture test + index draw + group-member pick
 
     def __init__(
         self,
@@ -253,6 +254,50 @@ class Theorem2Scheme(AugmentationScheme):
             picks = generator.integers(0, candidates.size, size=lanes.size)
             out[lanes] = candidates[picks]
         return out.reshape(nodes.shape)
+
+    def sample_contacts_from_uniforms(
+        self, nodes: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Entry-pure (M, L) sampling from caller-supplied uniforms.
+
+        ``uniforms[0]`` decides the mixture component; ``uniforms[1]`` is the
+        uniform node (U branch) or the ancestor index ``⌊u·(1 + log n)⌋``
+        (A branch, out-of-range = no link); ``uniforms[2]`` picks the label
+        group's member.  Each entry consumes only its own column, per the
+        batch-invariance contract.
+        """
+        if not self._batch_matches_scalar(Theorem2Scheme):
+            return super().sample_contacts_from_uniforms(nodes, uniforms)
+        nodes = self._coerce_batch(nodes)
+        uniforms = self._coerce_uniforms(nodes, uniforms)
+        n = self._graph.num_nodes
+        if nodes.size == 0:
+            return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        out = np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+        uniform_mask = uniforms[0] < self._uniform_mixture
+        if np.any(uniform_mask):
+            out[uniform_mask] = (uniforms[1, uniform_mask] * n).astype(np.int64)
+        ancestor_lanes = np.nonzero(~uniform_mask)[0]
+        if ancestor_lanes.size == 0:
+            return out
+        target_labels = np.zeros(nodes.shape, dtype=np.int64)  # 0 = no link
+        source_labels = self._labels[nodes[ancestor_lanes]]
+        for label in np.unique(source_labels).tolist():
+            lanes = ancestor_lanes[source_labels == label]
+            ancestors = self._ancestors_of(int(label))
+            indices = (uniforms[1, lanes] * self._denom).astype(np.int64)
+            in_range = indices < ancestors.size
+            target_labels[lanes[in_range]] = ancestors[indices[in_range]]
+        for label in np.unique(target_labels).tolist():
+            if label == 0:
+                continue
+            candidates = self._groups.get(int(label))
+            lanes = np.nonzero(target_labels == label)[0]
+            if candidates is None or candidates.size == 0:
+                continue
+            picks = (uniforms[2, lanes] * candidates.size).astype(np.int64)
+            out[lanes] = candidates[picks]
+        return out
 
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)

@@ -77,6 +77,22 @@ class UniformScheme(AugmentationScheme):
             return draws + (draws >= nodes)
         return generator.integers(0, n, size=nodes.shape, dtype=np.int64)
 
+    def sample_contacts_from_uniforms(
+        self, nodes: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Inverse-CDF of the uniform draw: ``⌊u·n⌋`` (entry-pure, see base)."""
+        if not self._batch_matches_scalar(UniformScheme):
+            return super().sample_contacts_from_uniforms(nodes, uniforms)
+        nodes = self._coerce_batch(nodes)
+        uniforms = self._coerce_uniforms(nodes, uniforms)
+        n = self._graph.num_nodes
+        if self._exclude_self:
+            if n == 1:
+                return np.full(nodes.shape, NO_CONTACT, dtype=np.int64)
+            draws = (uniforms[0] * (n - 1)).astype(np.int64)
+            return draws + (draws >= nodes)
+        return (uniforms[0] * n).astype(np.int64)
+
     def contact_distribution(self, node: int) -> np.ndarray:
         node = check_node_index(node, self._graph.num_nodes)
         n = self._graph.num_nodes

@@ -1,0 +1,49 @@
+"""Named graph families: one seedable factory per family.
+
+Historically this table lived inside :mod:`repro.cli`; the session facade
+(:func:`repro.open_session`) and the serve daemon need it too, so it now has
+a home importable without pulling in argparse.  ``repro.cli.GRAPH_FAMILIES``
+re-exports it unchanged.
+
+Each factory maps ``(n, seed)`` to a :class:`~repro.graphs.graph.Graph`;
+families whose constructions are deterministic ignore the seed.  ``n`` is the
+*requested* size — a few families round it to their natural grid/backbone
+dimensions, exactly as the CLI always has.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+__all__ = ["GRAPH_FAMILIES", "build_family_graph"]
+
+#: Graph families exposed by the CLI and the session API:
+#: name -> factory(n, seed) -> Graph.
+GRAPH_FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
+    "path": lambda n, seed: generators.path_graph(n),
+    "ring": lambda n, seed: generators.cycle_graph(n),
+    "grid2d": lambda n, seed: generators.grid_graph([max(2, int(round(n ** 0.5)))] * 2),
+    "torus2d": lambda n, seed: generators.torus_graph([max(3, int(round(n ** 0.5)))] * 2),
+    "tree": lambda n, seed: generators.random_tree(n, seed=seed),
+    "caterpillar": lambda n, seed: generators.caterpillar_graph(max(2, n // 2), 1),
+    "spider": lambda n, seed: generators.spider_graph(4, max(1, (n - 1) // 4)),
+    "interval": lambda n, seed: generators.random_interval_graph(n, seed=seed)[0],
+    "permutation": lambda n, seed: generators.random_permutation_graph(n, seed=seed)[0],
+    "lollipop": lambda n, seed: generators.lollipop_graph(max(4, n // 8), n - max(4, n // 8)),
+    "watts-strogatz": lambda n, seed: generators.watts_strogatz_graph(max(8, n), 4, 0.1, seed=seed),
+    "erdos-renyi": lambda n, seed: generators.erdos_renyi_graph(n, min(1.0, 4.0 / max(1, n)), seed=seed),
+}
+
+
+def build_family_graph(family: str, n: int, seed: int) -> Graph:
+    """Instantiate *family* at size *n* with *seed*; ``ValueError`` on unknown names."""
+    try:
+        factory = GRAPH_FAMILIES[family]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown graph family {family!r}; choose from {', '.join(sorted(GRAPH_FAMILIES))}"
+        ) from exc
+    return factory(int(n), int(seed))

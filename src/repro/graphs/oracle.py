@@ -829,11 +829,23 @@ class DistanceOracle:
         self._ensure_next_local(key)
         storage = self._block_storage
         if storage is None or storage[0].shape[0] < k:
-            storage = (
-                np.empty((k, n), dtype=np.int64),
-                np.empty((k, n), dtype=np.int64),
-                [-1] * k,
+            # Grow geometrically and *carry the old rows over*: sessions that
+            # pin an append-only target list (the serve layer) extend the
+            # tuple by a few targets per batch, and rebuilding the whole
+            # buffer from scratch each time would turn every growth into a
+            # full k·n refill instead of just the new rows.
+            capacity = k if storage is None else max(k, 2 * storage[0].shape[0])
+            grown = (
+                np.empty((capacity, n), dtype=np.int64),
+                np.empty((capacity, n), dtype=np.int64),
+                [-1] * capacity,
             )
+            if storage is not None:
+                old = storage[0].shape[0]
+                grown[0][:old] = storage[0]
+                grown[1][:old] = storage[1]
+                grown[2][:old] = storage[2]
+            storage = grown
             self._block_storage = storage
             # The buffers count against the byte budget: growing them may
             # push hot rows out to the cold tier.

@@ -61,6 +61,7 @@ import numpy as np
 from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import FAR_DISTANCE, DistanceOracle
+from repro.utils.counterrng import lane_step_uniforms
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -137,6 +138,8 @@ def route_lanes(
     max_steps: Optional[int] = None,
     oracle: Optional[DistanceOracle] = None,
     contact_table: Optional[np.ndarray] = None,
+    lane_seeds: Optional[np.ndarray] = None,
+    blocks: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
 ) -> LaneBatchResult:
     """Route ``len(pairs) * trials`` greedy lanes step-synchronously.
 
@@ -164,6 +167,23 @@ def route_lanes(
         :func:`materialize_contact_table`; lane ``l`` at node ``u`` then uses
         ``contact_table[l, u]`` instead of drawing fresh contacts — the
         reproducible-trajectory mode of the equivalence contract.
+    lane_seeds:
+        Optional ``uint64`` array of ``num_lanes`` per-lane seeds switching
+        the engine to **counter-based sampling**: the contacts lane ``l``
+        draws at step ``s`` are a pure hash of ``(lane_seeds[l], s)``
+        (:func:`repro.utils.counterrng.lane_step_uniforms` feeding
+        :meth:`~repro.core.base.AugmentationScheme.sample_contacts_from_uniforms`),
+        so the lane's trajectory depends only on ``(graph, scheme, seed)`` —
+        **not** on which other lanes share the batch.  This is the serve
+        layer's trajectory-identity mode; mutually exclusive with
+        ``contact_table`` (and ``seed`` is then unused).
+    blocks:
+        Optional pre-resolved ``(dist_block, next_local_block, pair_rows)``
+        triple: ``pair_rows[i]`` is the block row holding pair ``i``'s
+        target, letting sessions that pin long-lived blocks bypass the
+        oracle's single-slot cache.  By default the engine deduplicates the
+        batch's targets and pulls one block row per *distinct* target from
+        the oracle.
     """
     if scheme.graph is not graph and not scheme.graph.same_structure(graph):
         raise ValueError("scheme was built for a different graph")
@@ -180,23 +200,49 @@ def route_lanes(
     num_lanes = num_pairs * trials
     sources, targets = _as_pair_arrays(graph, pairs)
     if contact_table is not None:
+        if lane_seeds is not None:
+            raise ValueError("contact_table and lane_seeds are mutually exclusive")
         contact_table = np.asarray(contact_table, dtype=np.int64)
         if contact_table.shape != (num_lanes, n):
             raise ValueError(
                 f"contact_table must have shape (num_lanes, n) = ({num_lanes}, {n})"
             )
+    if lane_seeds is not None:
+        lane_seeds = np.ascontiguousarray(lane_seeds, dtype=np.uint64)
+        if lane_seeds.shape != (num_lanes,):
+            raise ValueError(
+                f"lane_seeds must have shape (num_lanes,) = ({num_lanes},)"
+            )
+        uniform_rows = max(1, int(type(scheme).uniforms_per_contact))
 
     # Per-pair distance rows (sentinel-masked) and local-hop tables, all
     # through the shared oracle: one batched frontier sweep for the missing
     # targets, one cached argmin pass per distinct target, and a single-slot
     # block cache so repeated estimates over the same targets (e.g. every
-    # scheme of an experiment cell) skip the stacking entirely.  The blocks
-    # are consumed through flat ``row * n + node`` keys, like the frontier
-    # engine's batched BFS.
-    dist_block, next_local_block = oracle.routing_blocks(targets)
-    flat_dist = dist_block.reshape(-1)
-    flat_local = next_local_block.reshape(-1)
-    unreachable = dist_block[np.arange(num_pairs), sources] == _FAR
+    # scheme of an experiment cell) skip the stacking entirely.  The batch's
+    # targets are deduplicated first — one block row per *distinct* target —
+    # so serve batches full of repeated targets don't refill k near-identical
+    # rows.  The blocks are consumed through flat ``row * n + node`` keys,
+    # like the frontier engine's batched BFS.
+    if blocks is None:
+        uniq_targets, pair_rows = np.unique(targets, return_inverse=True)
+        dist_block, next_local_block = oracle.routing_blocks(uniq_targets)
+    else:
+        dist_block, next_local_block, pair_rows = blocks
+        pair_rows = np.ascontiguousarray(pair_rows, dtype=np.int64)
+        if pair_rows.shape != (num_pairs,):
+            raise ValueError(f"pair_rows must have shape (num_pairs,) = ({num_pairs},)")
+        if dist_block.ndim != 2 or dist_block.shape[1] != n or (
+            next_local_block.shape != dist_block.shape
+        ):
+            raise ValueError("blocks must be (k, n) dist/next_local stacks")
+        if pair_rows.size and (
+            pair_rows.min() < 0 or pair_rows.max() >= dist_block.shape[0]
+        ):
+            raise ValueError("pair_rows index out of range for the supplied blocks")
+    flat_dist = np.ascontiguousarray(dist_block).reshape(-1)
+    flat_local = np.ascontiguousarray(next_local_block).reshape(-1)
+    unreachable = dist_block[pair_rows, sources] == _FAR
     if np.any(unreachable):
         bad = int(np.nonzero(unreachable)[0][0])
         raise ValueError(
@@ -210,11 +256,12 @@ def route_lanes(
     long_links = np.zeros(num_lanes, dtype=np.int64)
     success = np.zeros(num_lanes, dtype=bool)
     ids = np.arange(num_lanes, dtype=np.int64)
-    base = np.repeat(np.arange(num_pairs, dtype=np.int64) * n, trials)
+    base = np.repeat(np.asarray(pair_rows, dtype=np.int64) * n, trials)
     cur = np.repeat(sources, trials)
     tgt = np.repeat(targets, trials)
     spent = np.zeros(num_lanes, dtype=np.int64)
     used = np.zeros(num_lanes, dtype=np.int64)
+    seeds = lane_seeds  # compacted alongside the lane state (or None)
     arrived = cur == tgt  # degenerate (s == t) lanes arrive in 0 steps
     if np.any(arrived):
         success[ids[arrived]] = True
@@ -222,6 +269,8 @@ def route_lanes(
         ids, base, cur, tgt, spent, used = (
             a[keep] for a in (ids, base, cur, tgt, spent, used)
         )
+        if seeds is not None:
+            seeds = seeds[keep]
     generator = ensure_rng(seed)
     budget = n if max_steps is None else int(max_steps)
 
@@ -237,6 +286,8 @@ def route_lanes(
             ids, base, cur, tgt, spent, used = (
                 a[keep] for a in (ids, base, cur, tgt, spent, used)
             )
+            if seeds is not None:
+                seeds = seeds[keep]
             if not ids.size:
                 break
         keys = base + cur
@@ -244,6 +295,9 @@ def route_lanes(
         local_hop = flat_local.take(keys)
         if contact_table is not None:
             contacts = contact_table[ids, cur]
+        elif seeds is not None:
+            uniforms = lane_step_uniforms(seeds, spent, uniform_rows)
+            contacts = scheme.sample_contacts_from_uniforms(cur, uniforms)
         else:
             contacts = scheme.sample_contacts(cur, generator)
         valid = (contacts != NO_CONTACT) & (contacts != cur)
@@ -270,6 +324,8 @@ def route_lanes(
             ids, base, cur, tgt, spent, used, hop, use_long = (
                 a[moved] for a in (ids, base, cur, tgt, spent, used, hop, use_long)
             )
+            if seeds is not None:
+                seeds = seeds[moved]
         cur = hop
         spent = spent + 1
         used = used + use_long
@@ -283,6 +339,8 @@ def route_lanes(
             ids, base, cur, tgt, spent, used = (
                 a[keep] for a in (ids, base, cur, tgt, spent, used)
             )
+            if seeds is not None:
+                seeds = seeds[keep]
 
     if max_steps is None and not np.all(success):
         bad_lane = int(np.nonzero(~success)[0][0])

@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.graph import Graph
-from repro.graphs.oracle import DistanceOracle
+from repro.graphs.oracle import FAR_DISTANCE, DistanceOracle
 from repro.routing.engine import route_lanes
 from repro.routing.greedy import greedy_route
 from repro.routing.sampling import extremal_pairs, uniform_pairs
@@ -58,10 +58,12 @@ from repro.utils.validation import check_positive_int
 
 __all__ = [
     "PairEstimate",
+    "QueryOutcome",
     "RoutingEstimate",
     "ROUTING_ENGINES",
     "estimate_expected_steps",
     "estimate_greedy_diameter",
+    "route_queries",
 ]
 
 #: Engines accepted by the ``engine=`` keyword (and the CLI ``--engine``).
@@ -134,6 +136,125 @@ class RoutingEstimate:
             "long_link_fraction": self.long_link_fraction,
             "failed_trials": self.failed_trials,
         }
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of one served ``(source, target, seed)`` route query.
+
+    The trajectory behind ``steps``/``success``/``long_links`` is a pure
+    function of ``(graph, scheme, seed)`` — counter-based lane sampling, see
+    :func:`repro.routing.engine.route_lanes`'s ``lane_seeds`` mode — so the
+    same query returns the same outcome no matter how it was batched.
+    Malformed or unroutable queries set ``error`` instead of raising: a
+    service must answer every query it accepted.
+    """
+
+    source: int
+    target: int
+    seed: int
+    steps: int = 0
+    success: bool = False
+    long_links: int = 0
+    graph_distance: int = -1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query was routable (``error`` is ``None``)."""
+        return self.error is None
+
+
+def route_queries(
+    graph: Graph,
+    scheme: AugmentationScheme,
+    queries: Sequence[Tuple[int, int, int]],
+    *,
+    oracle: Optional[DistanceOracle] = None,
+    max_steps: Optional[int] = None,
+    blocks: Optional[tuple] = None,
+) -> List[QueryOutcome]:
+    """Route a batch of ``(source, target, seed)`` queries, one trial each.
+
+    The serve layer's workhorse: every query becomes one lane with its own
+    counter-based seed, the whole batch advances in a single step-synchronous
+    sweep, and each outcome is **identical to routing that query alone** with
+    the same seed (the trajectory-identity contract).
+
+    Per-query failures (out-of-range indices, unreachable targets) come back
+    as :class:`QueryOutcome.error` strings rather than exceptions, so one bad
+    query cannot poison a batch.  ``max_steps`` defaults to ``n`` — greedy
+    routing strictly decreases the distance each step, so no consistent
+    instance can exhaust that budget.
+
+    *blocks* optionally supplies pre-pinned routing blocks as
+    ``(dist_block, next_local_block, {target: row})`` — the
+    :class:`repro.session.RoutingSession` path; by default the blocks are
+    pulled from *oracle* (deduplicated by target).
+    """
+    if scheme.graph is not graph and not scheme.graph.same_structure(graph):
+        raise ValueError("scheme was built for a different graph")
+    n = graph.num_nodes
+    queries = [(int(s), int(t), int(q)) for (s, t, q) in queries]
+    outcomes: List[Optional[QueryOutcome]] = [None] * len(queries)
+    valid: List[int] = []
+    for i, (s, t, q) in enumerate(queries):
+        if not (0 <= s < n):
+            outcomes[i] = QueryOutcome(s, t, q, error="source index out of range")
+        elif not (0 <= t < n):
+            outcomes[i] = QueryOutcome(s, t, q, error="target index out of range")
+        else:
+            valid.append(i)
+    if valid:
+        if blocks is None:
+            if oracle is None:
+                oracle = DistanceOracle(graph)
+            uniq, inverse = np.unique(
+                np.asarray([queries[i][1] for i in valid], dtype=np.int64),
+                return_inverse=True,
+            )
+            dist_block, next_local_block = oracle.routing_blocks(uniq)
+            rows = {i: int(inverse[j]) for j, i in enumerate(valid)}
+        else:
+            dist_block, next_local_block, row_of = blocks
+            rows = {i: int(row_of[queries[i][1]]) for i in valid}
+        routable: List[int] = []
+        for i in valid:
+            s, t, q = queries[i]
+            if dist_block[rows[i], s] == FAR_DISTANCE:
+                outcomes[i] = QueryOutcome(
+                    s, t, q, error="target is not reachable from source"
+                )
+            else:
+                routable.append(i)
+        if routable:
+            pairs = [(queries[i][0], queries[i][1]) for i in routable]
+            lane_seeds = np.asarray(
+                [queries[i][2] for i in routable], dtype=np.uint64
+            )
+            pair_rows = np.asarray([rows[i] for i in routable], dtype=np.int64)
+            batch = route_lanes(
+                graph,
+                scheme,
+                pairs,
+                trials=1,
+                max_steps=n if max_steps is None else max_steps,
+                oracle=oracle,
+                lane_seeds=lane_seeds,
+                blocks=(dist_block, next_local_block, pair_rows),
+            )
+            for lane, i in enumerate(routable):
+                s, t, q = queries[i]
+                outcomes[i] = QueryOutcome(
+                    source=s,
+                    target=t,
+                    seed=q,
+                    steps=int(batch.steps[lane]),
+                    success=bool(batch.success[lane]),
+                    long_links=int(batch.long_links[lane]),
+                    graph_distance=int(dist_block[rows[i], s]),
+                )
+    return outcomes  # type: ignore[return-value]
 
 
 def _route_trials(

@@ -1,0 +1,22 @@
+"""Routing-as-a-service: the async micro-batching query daemon.
+
+The serve layer turns a warmed :class:`~repro.session.RoutingSession` into a
+long-lived TCP service (``python -m repro serve ...``) answering
+``(source, target)`` route queries over newline-delimited JSON:
+
+* :mod:`repro.serve.protocol` — the NDJSON wire format,
+* :mod:`repro.serve.batcher` — the micro-batcher (collect ~1 ms or N
+  queries, run one lane sweep, fan results back to each waiter),
+* :mod:`repro.serve.server` — the asyncio TCP server and request handling,
+* :mod:`repro.serve.client` — minimal sync and async clients.
+
+Served results are trajectory-identical to single-query runs under the
+session's seed policy (:func:`repro.session.derive_query_seed`): batching is
+a latency/throughput decision, never a results decision.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import AsyncRouteClient, RouteServiceClient
+from repro.serve.server import RouteServer
+
+__all__ = ["MicroBatcher", "RouteServer", "RouteServiceClient", "AsyncRouteClient"]

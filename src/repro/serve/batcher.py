@@ -1,0 +1,170 @@
+"""The micro-batcher: collect concurrent queries, run one lane sweep, fan out.
+
+A route query costs almost the same whether the lane engine advances one lane
+or five hundred — the sweep's per-step numpy calls dominate, not the lanes.
+So the daemon never routes queries one at a time: :class:`MicroBatcher`
+collects concurrent submissions until either
+
+* ``max_batch`` queries are pending (**count flush** — a full batch gains
+  nothing by waiting), or
+* ``window`` seconds elapsed since the first pending submission (**window
+  flush** — latency is bounded even under a trickle of traffic), or
+* a running sweep just finished and queries are pending (**idle flush** —
+  see below),
+
+then hands the whole batch to the runner on a single worker thread (one
+thread: lane sweeps are CPU-bound numpy; serializing them avoids oversubscribing
+the BLAS/np thread pool and keeps per-batch latency predictable) and resolves
+each submitter's future with its own result.
+
+The batcher is *adaptive under load*: while a sweep is in flight, an elapsed
+window does **not** flush (the worker is busy, so flushing early cannot
+start anything sooner — it would only fragment the queue into small sweeps,
+and a sweep's cost is dominated by its step count, not its lane count).
+Deferred queries keep accumulating and are flushed as one batch the moment
+the in-flight sweep completes.  Under a closed loop this settles into
+back-to-back near-full batches; under a trickle the window bound still
+holds because an idle batcher flushes on the timer as usual.
+
+Because batched results are trajectory-identical to single-query runs (the
+counter-based seed policy), the batcher is invisible in the results — it is
+purely a throughput/latency device, and the tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Fan concurrent ``submit`` calls into batched runner calls.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(items) -> results`` with ``len(results) == len(items)``,
+        ``results[i]`` belonging to ``items[i]``.  Runs on the batcher's
+        single worker thread; batches never overlap.
+    max_batch:
+        Flush as soon as this many items are pending.
+    window:
+        Flush this many seconds after the first item of a batch arrived.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Sequence[object]], Sequence[object]],
+        *,
+        max_batch: int = 512,
+        window: float = 0.001,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self._runner = runner
+        self._max_batch = int(max_batch)
+        self._window = float(window)
+        self._pending: List[tuple] = []  # (item, future)
+        self._timer: asyncio.TimerHandle | None = None
+        self._tasks: set = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-sweep"
+        )
+        self._closed = False
+        self._inflight = 0
+        self.stats = {
+            "submitted": 0,
+            "batches": 0,
+            "count_flushes": 0,
+            "window_flushes": 0,
+            "idle_flushes": 0,
+            "drain_flushes": 0,
+            "deferred_windows": 0,
+            "max_batch_seen": 0,
+        }
+
+    @property
+    def max_batch(self) -> int:
+        return self._max_batch
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    async def submit(self, item) -> object:
+        """Enqueue *item* and wait for its result from a batched runner call."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending.append((item, future))
+        self.stats["submitted"] += 1
+        if len(self._pending) >= self._max_batch:
+            self._flush("count_flushes")
+        elif self._timer is None:
+            self._timer = loop.call_later(self._window, self._flush, "window_flushes")
+        return await future
+
+    def _flush(self, cause: str) -> None:
+        """Detach the pending batch and run it (count, window, idle or drain)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if cause == "window_flushes" and self._inflight:
+            # Worker busy: flushing now cannot start anything sooner, it
+            # would only fragment the queue.  Defer to the idle flush the
+            # in-flight sweep triggers on completion.
+            self.stats["deferred_windows"] += 1
+            return
+        batch = self._pending
+        if not batch:
+            return
+        self._pending = []
+        self.stats["batches"] += 1
+        self.stats[cause] += 1
+        self.stats["max_batch_seen"] = max(self.stats["max_batch_seen"], len(batch))
+        self._inflight += 1
+        task = asyncio.ensure_future(self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, batch: List[tuple]) -> None:
+        loop = asyncio.get_running_loop()
+        items = [item for (item, _) in batch]
+        try:
+            results = await loop.run_in_executor(self._executor, self._runner, items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"runner returned {len(results)} results for {len(items)} items"
+                )
+        except Exception as exc:  # noqa: BLE001 - fan the failure to every waiter
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        finally:
+            self._inflight -= 1
+            if not self._inflight and self._pending and not self._closed:
+                self._flush("idle_flushes")
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def close(self) -> None:
+        """Stop accepting, flush the pending batch, wait for in-flight sweeps.
+
+        Every query accepted before ``close`` still gets its result — the
+        graceful-drain contract the server's shutdown relies on.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._flush("drain_flushes")
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,166 @@
+"""Minimal clients for the route daemon (sync for scripts, async for load).
+
+The sync :class:`RouteServiceClient` is the README's one-liner::
+
+    from repro.serve.client import RouteServiceClient
+    with RouteServiceClient("127.0.0.1", 8642) as client:
+        print(client.route(12, 9034))
+
+The async :class:`AsyncRouteClient` pipelines many requests over one
+connection with a background reader task demultiplexing responses by ``id``
+— what the closed-loop load generator drives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve import protocol
+
+__all__ = ["RouteServiceClient", "AsyncRouteClient"]
+
+
+class RouteServiceClient:
+    """Blocking client: one request/response at a time over one connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    def _call(self, message: dict) -> dict:
+        message.setdefault("id", next(self._ids))
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def route(self, source: int, target: int, *, nonce: int = 0) -> dict:
+        """Route one query; returns the response dict (``ok``, ``steps``, ...)."""
+        return self._call(
+            {"op": "route", "source": int(source), "target": int(target), "nonce": int(nonce)}
+        )
+
+    def route_many(self, pairs: Sequence[Tuple[int, int]], *, nonce: int = 0) -> List[dict]:
+        """Pipeline a batch of queries over the connection, in order."""
+        requests = []
+        for source, target in pairs:
+            request_id = next(self._ids)
+            requests.append(request_id)
+            self._file.write(
+                protocol.encode(
+                    {
+                        "op": "route",
+                        "id": request_id,
+                        "source": int(source),
+                        "target": int(target),
+                        "nonce": int(nonce),
+                    }
+                )
+            )
+        self._file.flush()
+        by_id: Dict[object, dict] = {}
+        for _ in requests:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-batch")
+            response = json.loads(line)
+            by_id[response.get("id")] = response
+        return [by_id[request_id] for request_id in requests]
+
+    def ping(self) -> dict:
+        return self._call({"op": "ping"})
+
+    def info(self) -> dict:
+        return self._call({"op": "info"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RouteServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncRouteClient:
+    """Pipelined asyncio client: many in-flight requests per connection."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._waiters: Dict[object, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._write_lock: Optional[asyncio.Lock] = None
+
+    async def connect(self, host: str, port: int) -> "AsyncRouteClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._waiters.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._waiters.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("connection closed"))
+            self._waiters.clear()
+
+    async def request(self, message: dict) -> dict:
+        """Send one request and await its response (pipelining-safe)."""
+        assert self._writer is not None and self._write_lock is not None
+        request_id = next(self._ids)
+        message = dict(message, id=request_id)
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        async with self._write_lock:
+            self._writer.write(protocol.encode(message))
+            await self._writer.drain()
+        return await future
+
+    async def route(self, source: int, target: int, *, nonce: int = 0) -> dict:
+        return await self.request(
+            {"op": "route", "source": int(source), "target": int(target), "nonce": int(nonce)}
+        )
+
+    async def info(self) -> dict:
+        return await self.request({"op": "info"})
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass

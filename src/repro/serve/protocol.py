@@ -1,0 +1,118 @@
+"""Newline-delimited-JSON wire protocol for the route daemon.
+
+One request per line, one response line per request, in any interleaving —
+responses carry the request's ``id`` so clients may pipeline freely.
+
+Requests
+--------
+``{"op": "route", "id": 7, "source": 12, "target": 9034, "nonce": 0}``
+    Route one query.  ``nonce`` (default 0) varies the served trajectory
+    under the seed policy; ``id`` is echoed back and may be any JSON value.
+``{"op": "ping", "id": 1}``
+    Liveness check.
+``{"op": "info", "id": 2}``
+    Session + server descriptor (family, n, scheme, seed, warmed targets,
+    batcher configuration and counters).
+
+Responses
+---------
+``{"id": 7, "ok": true, "steps": 41, "success": true, "long_links": 12,
+"distance": 633, "seed": 123…, "latency_ms": 1.8}``
+    ``seed`` is the 64-bit lane seed the daemon derived
+    (:func:`repro.session.derive_query_seed`) — any holder of the session
+    seed can replay the exact trajectory offline.
+``{"id": 7, "ok": false, "error": "target index out of range"}``
+    Per-request failures; the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "encode",
+    "decode_request",
+    "parse_route_request",
+    "route_response",
+    "error_response",
+]
+
+#: Hard per-line bound (requests are tiny; anything bigger is garbage or abuse).
+MAX_LINE_BYTES = 64 * 1024
+
+_OPS = ("route", "ping", "info")
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (bad JSON, unknown op, missing fields).
+
+    ``request_id`` carries the offending request's ``id`` when it could be
+    parsed, so the server can still address its error response.
+    """
+
+    def __init__(self, message: str, *, request_id=None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+def encode(message: dict) -> bytes:
+    """One NDJSON line: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_request(line: bytes) -> dict:
+    """Parse one request line into a dict with a validated ``op``."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc.msg}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = message.get("op")
+    if op not in _OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(_OPS)}",
+            request_id=message.get("id"),
+        )
+    return message
+
+
+def parse_route_request(message: dict) -> Tuple[int, int, int]:
+    """Extract ``(source, target, nonce)`` from a ``route`` request."""
+    out = []
+    for field, default in (("source", None), ("target", None), ("nonce", 0)):
+        value = message.get(field, default)
+        if value is None:
+            raise ProtocolError(f"route request is missing {field!r}")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(f"{field!r} must be an integer, got {value!r}")
+        out.append(value)
+    return out[0], out[1], out[2]
+
+
+def route_response(request_id, outcome, latency_ms: Optional[float] = None) -> dict:
+    """Build the response dict for one :class:`~repro.routing.simulator.QueryOutcome`."""
+    if outcome.error is not None:
+        return {"id": request_id, "ok": False, "error": outcome.error}
+    message = {
+        "id": request_id,
+        "ok": True,
+        "steps": outcome.steps,
+        "success": outcome.success,
+        "long_links": outcome.long_links,
+        "distance": outcome.graph_distance,
+        "seed": outcome.seed,
+    }
+    if latency_ms is not None:
+        message["latency_ms"] = round(latency_ms, 3)
+    return message
+
+
+def error_response(request_id, error: str) -> dict:
+    """A per-request failure line (the connection stays usable)."""
+    return {"id": request_id, "ok": False, "error": error}

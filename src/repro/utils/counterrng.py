@@ -1,0 +1,76 @@
+"""Counter-based uniform variates for batch-invariant lane sampling.
+
+The lane engine's default sampling mode draws every active lane's contact
+from **one shared generator per batch** — fast, but the draw a lane sees then
+depends on which *other* lanes happen to share its batch.  That is fine for
+Monte-Carlo estimates (any batching is equal in distribution) and fatal for a
+query service, where the same ``(source, target, seed)`` query must walk the
+same trajectory whether it was served alone or micro-batched with a thousand
+strangers.
+
+This module provides the alternative: **counter-based** uniforms.  Each lane
+carries a 64-bit ``lane_seed``; the uniforms consumed at step ``s`` are a pure
+hash of ``(lane_seed, s, variate index)`` — no shared stream, no state, no
+order dependence.  A lane's trajectory becomes a function of
+``(graph, scheme, lane_seed)`` alone, so batch composition provably cannot
+change it.
+
+The hash is splitmix64's finalizer (Steele, Lea & Flood's SplittableRandom /
+xorshift-family mixing step), applied twice with the golden-ratio increment to
+decorrelate the seed from the counter.  It is vectorized over numpy ``uint64``
+arrays (wrapping arithmetic) and converts to doubles the standard way: keep
+the top 53 bits, scale by ``2^-53`` — uniforms lie in ``[0, 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MAX_UNIFORM_ROWS", "mix64", "lane_step_uniforms"]
+
+#: Upper bound on the per-step variate rows a scheme may request
+#: (:attr:`~repro.core.base.AugmentationScheme.uniforms_per_contact`).  The
+#: step counter is multiplied by this stride so every (step, row) pair maps to
+#: a distinct hash input.
+MAX_UNIFORM_ROWS: int = 4
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_SHIFT_30 = np.uint64(30)
+_SHIFT_27 = np.uint64(27)
+_SHIFT_31 = np.uint64(31)
+_SHIFT_11 = np.uint64(11)
+_TO_UNIT = 2.0 ** -53
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, elementwise over a ``uint64`` array."""
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> _SHIFT_30
+    x *= _MIX_1
+    x ^= x >> _SHIFT_27
+    x *= _MIX_2
+    x ^= x >> _SHIFT_31
+    return x
+
+
+def lane_step_uniforms(seeds: np.ndarray, steps: np.ndarray, rows: int) -> np.ndarray:
+    """Uniforms in ``[0, 1)`` for each (lane, step): shape ``(rows, len(seeds))``.
+
+    ``out[j, i]`` is a pure function of ``(seeds[i], steps[i], j)`` — the
+    batch-invariance contract.  *rows* is the scheme's
+    ``uniforms_per_contact`` and must not exceed :data:`MAX_UNIFORM_ROWS`.
+    """
+    if not 1 <= rows <= MAX_UNIFORM_ROWS:
+        raise ValueError(f"rows must lie in [1, {MAX_UNIFORM_ROWS}], got {rows}")
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    counters = np.asarray(steps).astype(np.uint64) * np.uint64(MAX_UNIFORM_ROWS)
+    out = np.empty((rows, seeds.size), dtype=np.float64)
+    for j in range(rows):
+        # Two finalizer rounds: one keyed by the (step, row) counter, one by
+        # the lane seed xor'd with it — the golden-ratio stride keeps nearby
+        # counters far apart in hash space.
+        h = mix64(seeds ^ mix64((counters + np.uint64(j + 1)) * _GOLDEN))
+        out[j] = (h >> _SHIFT_11) * _TO_UNIT
+    return out

@@ -251,3 +251,92 @@ class TestEngineEdgeCases:
         )
         assert oracle.cache_size() == 2  # targets {6, 9}
         assert oracle.hits >= 1
+
+
+class TestLaneSeedsMode:
+    """Counter-based per-lane seeding: batch-invariant trajectories."""
+
+    def _seeds(self, count, base=1000):
+        return np.asarray([base + 17 * i for i in range(count)], dtype=np.uint64)
+
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_lane_trajectories_ignore_batch_composition(self, scheme_name):
+        g = generators.cycle_graph(30)
+        scheme = _scheme_for(scheme_name, g, DistanceOracle(g))
+        pairs = [(0, 15), (3, 20), (7, 28)]
+        seeds = self._seeds(3)
+        batch = route_lanes(g, scheme, pairs, trials=1, lane_seeds=seeds, max_steps=60)
+        for i, pair in enumerate(pairs):
+            solo = route_lanes(
+                g, scheme, [pair], trials=1, lane_seeds=seeds[i : i + 1], max_steps=60
+            )
+            assert solo.steps[0] == batch.steps[i]
+            assert solo.long_links[0] == batch.long_links[i]
+            assert solo.success[0] == batch.success[i]
+
+    def test_rerun_is_bit_identical(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        seeds = self._seeds(4)
+        pairs = [(0, 6), (1, 7), (2, 8), (3, 9)]
+        a = route_lanes(cycle12, scheme, pairs, trials=1, lane_seeds=seeds)
+        b = route_lanes(cycle12, scheme, pairs, trials=1, lane_seeds=seeds)
+        np.testing.assert_array_equal(a.steps, b.steps)
+        np.testing.assert_array_equal(a.long_links, b.long_links)
+
+    def test_distinct_seeds_draw_distinct_walks(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        pairs = [(0, 6)] * 8
+        seeds = self._seeds(8)
+        batch = route_lanes(cycle12, scheme, pairs, trials=1, lane_seeds=seeds)
+        assert len(set(batch.steps.tolist())) > 1  # not all lanes identical
+
+    def test_lane_seeds_shape_is_validated(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        with pytest.raises(ValueError, match="lane_seeds"):
+            route_lanes(
+                cycle12, scheme, [(0, 6)], trials=2,
+                lane_seeds=np.array([1], dtype=np.uint64),
+            )
+
+    def test_lane_seeds_exclusive_with_contact_table(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        table = materialize_contact_table(scheme, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="contact_table"):
+            route_lanes(
+                cycle12, scheme, [(0, 6)], trials=1,
+                contact_table=table, lane_seeds=np.array([1], dtype=np.uint64),
+            )
+
+
+class TestInjectedBlocks:
+    def test_blocks_match_oracle_path(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        oracle = DistanceOracle(cycle12)
+        pairs = [(0, 6), (1, 9), (3, 6)]
+        seeds = np.array([5, 6, 7], dtype=np.uint64)
+        via_oracle = route_lanes(
+            cycle12, scheme, pairs, trials=1, oracle=oracle, lane_seeds=seeds
+        )
+        dist, next_local = oracle.routing_blocks((6, 9))
+        rows = np.array([0, 1, 0], dtype=np.int64)
+        via_blocks = route_lanes(
+            cycle12, scheme, pairs, trials=1, oracle=oracle,
+            lane_seeds=seeds, blocks=(dist, next_local, rows),
+        )
+        np.testing.assert_array_equal(via_oracle.steps, via_blocks.steps)
+        np.testing.assert_array_equal(via_oracle.long_links, via_blocks.long_links)
+
+    def test_bad_pair_rows_rejected(self, cycle12):
+        scheme = UniformScheme(cycle12, seed=0)
+        oracle = DistanceOracle(cycle12)
+        dist, next_local = oracle.routing_blocks((6,))
+        with pytest.raises(ValueError, match="pair_rows"):
+            route_lanes(
+                cycle12, scheme, [(0, 6), (1, 6)], trials=1, seed=1,
+                blocks=(dist, next_local, np.array([0], dtype=np.int64)),
+            )
+        with pytest.raises(ValueError, match="row"):
+            route_lanes(
+                cycle12, scheme, [(0, 6)], trials=1, seed=1,
+                blocks=(dist, next_local, np.array([3], dtype=np.int64)),
+            )

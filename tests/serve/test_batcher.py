@@ -1,0 +1,180 @@
+"""MicroBatcher tests: flush causes, adaptive deferral, drain, error fan-out.
+
+No pytest-asyncio in the container: each test drives its own event loop with
+``asyncio.run`` around an async scenario function.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+def _echo_runner(items):
+    """Identity runner tagging each item so provenance is checkable."""
+    return [("done", item) for item in items]
+
+
+class TestFlushCauses:
+    def test_count_flush_fires_at_max_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_runner, max_batch=4, window=60.0)
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.close()
+            return batcher.stats, results
+
+        stats, results = asyncio.run(scenario())
+        # The window is a minute: only a count flush can have answered.
+        assert stats["count_flushes"] == 1
+        assert stats["window_flushes"] == 0
+        assert stats["max_batch_seen"] == 4
+        assert results == [("done", i) for i in range(4)]
+
+    def test_window_flush_fires_for_partial_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_runner, max_batch=1000, window=0.005)
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(3)))
+            await batcher.close()
+            return batcher.stats, results
+
+        stats, results = asyncio.run(scenario())
+        assert stats["window_flushes"] == 1
+        assert stats["count_flushes"] == 0
+        assert results == [("done", i) for i in range(3)]
+
+    def test_zero_window_still_batches_concurrent_submits(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_runner, max_batch=1000, window=0.0)
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(5)))
+            await batcher.close()
+            return batcher.stats, results
+
+        stats, results = asyncio.run(scenario())
+        # All five submits land on the loop before the call_later(0) fires,
+        # so even a zero window packs them into one batch.
+        assert stats["batches"] == 1
+        assert results == [("done", i) for i in range(5)]
+
+
+class TestAdaptiveDeferral:
+    def test_window_elapsing_mid_sweep_defers_to_idle_flush(self):
+        release = threading.Event()
+
+        def slow_runner(items):
+            release.wait(timeout=5.0)
+            return [("done", item) for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(slow_runner, max_batch=1000, window=0.002)
+            first = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.sleep(0.01)  # window elapsed -> sweep for "a" in flight
+            late = [asyncio.ensure_future(batcher.submit(i)) for i in range(3)]
+            await asyncio.sleep(0.02)  # their window elapses while still in flight
+            assert not any(f.done() for f in late)
+            release.set()
+            results = await asyncio.gather(first, *late)
+            await batcher.close()
+            return batcher.stats, results
+
+        stats, results = asyncio.run(scenario())
+        assert results[0] == ("done", "a")
+        assert results[1:] == [("done", i) for i in range(3)]
+        # The late trio was deferred past its window and flushed on idle,
+        # packed into a single batch.
+        assert stats["deferred_windows"] >= 1
+        assert stats["idle_flushes"] == 1
+        assert stats["batches"] == 2
+
+
+class TestErrorsAndDrain:
+    def test_runner_failure_fans_to_every_waiter(self):
+        def failing_runner(items):
+            raise RuntimeError("sweep exploded")
+
+        async def scenario():
+            batcher = MicroBatcher(failing_runner, max_batch=2, window=60.0)
+            results = await asyncio.gather(
+                batcher.submit(1), batcher.submit(2), return_exceptions=True
+            )
+            await batcher.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert all("sweep exploded" in str(r) for r in results)
+
+    def test_result_count_mismatch_is_an_error(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda items: [], max_batch=1, window=60.0)
+            try:
+                return await asyncio.gather(batcher.submit(1), return_exceptions=True)
+            finally:
+                await batcher.close()
+
+        (result,) = asyncio.run(scenario())
+        assert isinstance(result, RuntimeError)
+        assert "0 results for 1 items" in str(result)
+
+    def test_close_drains_pending_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_runner, max_batch=1000, window=60.0)
+            pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(3)]
+            await asyncio.sleep(0)  # submits reach the batcher, window far away
+            await batcher.close()
+            return batcher.stats, await asyncio.gather(*pending)
+
+        stats, results = asyncio.run(scenario())
+        assert stats["drain_flushes"] == 1
+        assert results == [("done", i) for i in range(3)]
+
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_runner)
+            await batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.submit(1)
+
+        asyncio.run(scenario())
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_runner)
+            await batcher.close()
+            await batcher.close()
+
+        asyncio.run(scenario())
+
+
+class TestValidation:
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(_echo_runner, max_batch=0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError, match="window"):
+            MicroBatcher(_echo_runner, window=-0.1)
+
+
+class TestSingleWorkerSerialization:
+    def test_batches_never_overlap(self):
+        active = []
+        overlaps = []
+
+        def runner(items):
+            active.append(1)
+            if len(active) > 1:
+                overlaps.append(len(active))
+            time.sleep(0.002)
+            active.pop()
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=2, window=0.0005)
+            await asyncio.gather(*(batcher.submit(i) for i in range(20)))
+            await batcher.close()
+
+        asyncio.run(scenario())
+        assert overlaps == []

@@ -1,0 +1,88 @@
+"""Wire-protocol tests: encoding, request validation, response shapes."""
+
+import json
+
+import pytest
+
+from repro.routing.simulator import QueryOutcome
+from repro.serve import protocol
+
+
+class TestEncode:
+    def test_one_compact_line(self):
+        line = protocol.encode({"op": "ping", "id": 3})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert b" " not in line
+        assert json.loads(line) == {"op": "ping", "id": 3}
+
+
+class TestDecodeRequest:
+    def test_roundtrip(self):
+        message = {"op": "route", "id": 9, "source": 1, "target": 2}
+        assert protocol.decode_request(protocol.encode(message)) == message
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(protocol.ProtocolError, match="invalid JSON"):
+            protocol.decode_request(b"{nope\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            protocol.decode_request(b"[1, 2]\n")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.decode_request(b'{"op": "fly"}\n')
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.decode_request(b'{"id": 1}\n')
+
+    def test_rejects_oversized_line(self):
+        line = protocol.encode({"op": "ping", "pad": "x" * protocol.MAX_LINE_BYTES})
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.decode_request(line)
+
+
+class TestParseRouteRequest:
+    def test_extracts_fields(self):
+        message = {"op": "route", "source": 5, "target": 7, "nonce": 2}
+        assert protocol.parse_route_request(message) == (5, 7, 2)
+
+    def test_nonce_defaults_to_zero(self):
+        assert protocol.parse_route_request({"op": "route", "source": 1, "target": 2}) == (1, 2, 0)
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="missing 'target'"):
+            protocol.parse_route_request({"op": "route", "source": 1})
+
+    @pytest.mark.parametrize("bad", ["3", 3.5, True, None, [3]])
+    def test_non_integer_source_rejected(self, bad):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_route_request({"op": "route", "source": bad, "target": 2})
+
+
+class TestResponses:
+    def test_success_shape(self):
+        outcome = QueryOutcome(
+            source=1, target=2, seed=77, steps=4, success=True, long_links=1, graph_distance=3
+        )
+        response = protocol.route_response(8, outcome, 1.23456)
+        assert response == {
+            "id": 8,
+            "ok": True,
+            "steps": 4,
+            "success": True,
+            "long_links": 1,
+            "distance": 3,
+            "seed": 77,
+            "latency_ms": 1.235,
+        }
+
+    def test_error_outcome_maps_to_error_response(self):
+        outcome = QueryOutcome(source=1, target=99, seed=0, error="target index out of range")
+        response = protocol.route_response(8, outcome)
+        assert response == {"id": 8, "ok": False, "error": "target index out of range"}
+
+    def test_error_response_keeps_request_id(self):
+        assert protocol.error_response(None, "boom") == {"id": None, "ok": False, "error": "boom"}

@@ -61,7 +61,7 @@ class TestCommands:
         assert "EXP-1" in err  # the error names the available experiment ids
 
     def test_experiment_command_resume_requires_out(self, capsys):
-        assert main(["experiment", "--only", "EXP-1", "--quick", "--resume"]) == 1
+        assert main(["experiment", "--only", "EXP-1", "--quick", "--resume"]) == 2
         assert "--out" in capsys.readouterr().err
 
     def test_experiment_command_artifacts_and_resume(self, tmp_path, capsys):
@@ -129,12 +129,14 @@ class TestByteSizeParsing:
 
 
 class TestCleanErrors:
+    """Invalid flag combinations render as one-line errors with exit 2."""
+
     def test_jobs_below_one_exits_cleanly(self, capsys):
-        assert main(["experiment", "--only", "EXP-1", "--quick", "--jobs", "0"]) == 1
+        assert main(["experiment", "--only", "EXP-1", "--quick", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
 
     def test_shard_requires_out(self, capsys):
-        assert main(["experiment", "--only", "EXP-1", "--quick", "--shard"]) == 1
+        assert main(["experiment", "--only", "EXP-1", "--quick", "--shard"]) == 2
         assert "--out" in capsys.readouterr().err
 
     def test_uncreatable_out_dir(self, tmp_path, capsys):
@@ -144,7 +146,7 @@ class TestCleanErrors:
         code = main(
             ["experiment", "--only", "EXP-1", "--quick", "--out", bad]
         )
-        assert code == 1
+        assert code == 2
         assert "--out" in capsys.readouterr().err
 
     def test_uncreatable_graph_cache_dir(self, tmp_path, capsys):
@@ -154,7 +156,7 @@ class TestCleanErrors:
         code = main(
             ["experiment", "--only", "EXP-1", "--quick", "--graph-cache", bad]
         )
-        assert code == 1
+        assert code == 2
         assert "--graph-cache" in capsys.readouterr().err
 
     @pytest.mark.skipif(
@@ -173,7 +175,7 @@ class TestCleanErrors:
             )
         finally:
             locked.chmod(0o700)
-        assert code == 1
+        assert code == 2
         assert "not writable" in capsys.readouterr().err
 
 
@@ -214,3 +216,52 @@ class TestScaleFlags:
         assert "oracle memory" in err
         assert "bytes/node" in err
         assert "peak RSS" in err  # resource is always available on Linux
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "ring"])
+        assert args.family == "ring"
+        assert args.size == 4096
+        assert args.scheme == "uniform"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.max_batch == 512
+        assert args.window_ms == 1.0
+        assert args.warm_targets == 32
+        assert args.engine == "lane"  # shared parent parser, same as route
+
+    def test_shared_instance_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "torus2d", "-n", "9000", "--seed", "7", "--port", "8642"]
+        )
+        assert (args.size, args.seed, args.port) == (9000, 7, 8642)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "hypertorus"])
+
+
+class TestServeUsageErrors:
+    """Invalid serve combinations are one-line errors with exit 2."""
+
+    def test_scalar_engine_rejected(self, capsys):
+        assert main(["serve", "ring", "-n", "64", "--engine", "scalar"]) == 2
+        assert "--engine lane" in capsys.readouterr().err
+
+    def test_bad_max_batch(self, capsys):
+        assert main(["serve", "ring", "-n", "64", "--max-batch", "0"]) == 2
+        assert "--max-batch" in capsys.readouterr().err
+
+    def test_negative_window(self, capsys):
+        assert main(["serve", "ring", "-n", "64", "--window-ms", "-1"]) == 2
+        assert "--window-ms" in capsys.readouterr().err
+
+    def test_unknown_scheme(self, capsys):
+        assert main(["serve", "ring", "-n", "64", "--scheme", "teleport"]) == 2
+        err = capsys.readouterr().err
+        assert "teleport" in err
+
+    def test_out_of_range_port(self, capsys):
+        assert main(["serve", "ring", "-n", "64", "--port", "70000"]) == 2
+        assert "--port" in capsys.readouterr().err

@@ -60,10 +60,16 @@ GATED_METRICS = {"speedup": True, "bytes_per_node": False}
 #: numba extra) gate the same way: the compiled path's own engine time,
 #: lower is better — their numpy-relative speedup is a gate inside the
 #: benchmark itself, not a trend.
+#: The serve daemon's records (``benchmarks/test_bench_serve.py``) gate on
+#: their own axes: ``serve_qps`` on sustained queries/second (higher is
+#: better), ``serve_latency`` on the closed loop's p99 response time in
+#: milliseconds (lower is better).
 KIND_GATED_METRICS = {
     "bfs_engine_highdiam": {"engine_seconds": False},
     "bfs_kernel_compiled": {"engine_seconds": False},
     "next_local_compiled": {"engine_seconds": False},
+    "serve_qps": {"qps": True},
+    "serve_latency": {"p99_ms": False},
 }
 
 
