@@ -1,0 +1,131 @@
+"""Benchmark: landmark sketch warmup cost and stretch (``approx_distance``).
+
+Builds a ring-graph :class:`~repro.graphs.landmark.LandmarkOracle`, times the
+one-off landmark warmup (the L pivot BFS sweeps — the *only* full-graph BFS
+work landmark mode ever pays for bulk queries), then measures the sketch's
+per-query quality against the ring's closed-form distances
+``min((i - s) % n, (s - i) % n)``.  The closed form makes both contracts
+checkable at ``n = 10**6`` without running a single exact BFS:
+
+* **admissibility**: every sketch estimate upper-bounds the true distance
+  (``est(u, t) = min_l d(u, l) + d(l, t)`` rides real shortest paths), and
+* **stretch**: the mean ratio ``est / exact`` over sampled query rows stays
+  small — farthest-point pivots on a cycle land nearly evenly spaced, so the
+  additive error is bounded by the inter-pivot gap.
+
+Each run appends an ``approx_distance`` record to ``BENCH_routing.json``;
+``tools/check_bench_trend.py`` gates ``warmup_seconds`` and ``mean_stretch``
+with lower-is-better ceilings so a slower warmup or a worse sketch fails CI.
+
+The default run measures the 50k smoke size.  ``BENCH_ROUTING_FULL=1`` adds
+the ISSUE acceptance point — a million-node ring sketched by 16 pivots::
+
+    BENCH_ROUTING_FULL=1 PYTHONPATH=src python -m pytest \
+        benchmarks/test_bench_approx_distance.py -q -s
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from bench_recording import append_record
+from repro.graphs import generators
+from repro.graphs.landmark import LandmarkOracle
+
+#: Measured ring sizes.
+_SMOKE_POINTS = [50_000]
+_FULL_POINTS = [50_000, 1_000_000]
+
+_LANDMARKS = 16
+_QUERY_ROWS = 8  # sketch rows sampled for the stretch measurement
+_SAMPLES_PER_ROW = 512  # target entries sampled per row
+
+
+def _full() -> bool:
+    return os.environ.get("BENCH_ROUTING_FULL", "") == "1"
+
+
+def _ring_reference_row(n: int, source: int) -> np.ndarray:
+    """Closed-form single-source distances on the n-cycle."""
+    idx = np.arange(n, dtype=np.int64)
+    forward = (idx - source) % n
+    return np.minimum(forward, n - forward)
+
+
+def _measure_point(n: int) -> dict:
+    graph = generators.cycle_graph(n)
+    oracle = LandmarkOracle(graph, num_landmarks=_LANDMARKS, seed=n)
+
+    started = time.perf_counter()
+    pivots = oracle.landmarks  # forces the L pivot BFS sweeps
+    warmup_seconds = time.perf_counter() - started
+    assert len(pivots) == _LANDMARKS
+
+    rng = np.random.default_rng(n + 1)
+    ratios = []
+    query_started = time.perf_counter()
+    for source in rng.integers(0, n, size=_QUERY_ROWS):
+        source = int(source)
+        est = np.asarray(oracle.query_distances_from(source), dtype=np.int64)
+        exact = _ring_reference_row(n, source)
+        targets = rng.integers(0, n, size=_SAMPLES_PER_ROW)
+        targets = targets[exact[targets] > 0]
+        assert (est[targets] >= exact[targets]).all(), (
+            f"n={n}: sketch under-estimated a distance from {source} "
+            "(admissibility violated)"
+        )
+        ratios.append(float(np.mean(est[targets] / exact[targets])))
+    query_seconds = time.perf_counter() - query_started
+
+    mean_stretch = float(np.mean(ratios))
+    # Evenly spread pivots keep the cycle's mean multiplicative stretch small;
+    # 4.0 is a loose absolute sanity bar — the trend gate guards regressions.
+    assert mean_stretch >= 1.0
+    assert mean_stretch < 4.0, f"n={n}: mean stretch {mean_stretch:.3f} blew up"
+
+    stats = oracle.distance_stats()
+    assert stats["landmark_sweeps"] == _LANDMARKS  # warmup is exactly L BFS
+    print(
+        f"  approx_distance n={n}: {_LANDMARKS} pivots warmed in "
+        f"{warmup_seconds:.2f}s, {len(ratios)} query rows in "
+        f"{query_seconds:.2f}s, mean stretch {mean_stretch:.3f}"
+    )
+    return {
+        "n": n,
+        "warmup_seconds": round(warmup_seconds, 4),
+        "mean_stretch": round(mean_stretch, 4),
+        "query_seconds": round(query_seconds, 4),
+        "landmarks": _LANDMARKS,
+        "query_rows": len(ratios),
+    }
+
+
+def test_landmark_warmup_and_stretch():
+    """Warmup stays L BFS sweeps; sketch rows stay admissible + low-stretch."""
+    points = _FULL_POINTS if _full() else _SMOKE_POINTS
+    results = [_measure_point(n) for n in points]
+    append_record(
+        results,
+        benchmark="approx_distance",
+        mode="full" if _full() else "smoke",
+        config={
+            "family": "ring",
+            "landmarks": _LANDMARKS,
+            "query_rows": _QUERY_ROWS,
+            "points": list(points),
+        },
+    )
+
+
+@pytest.mark.skipif(not _full(), reason="BENCH_ROUTING_FULL=1 runs the 10^6 acceptance point")
+def test_million_node_sketch_acceptance():
+    """The ISSUE acceptance bar: n=10^6 sketch warmup + bounded stretch."""
+    result = _measure_point(1_000_000)
+    assert result["mean_stretch"] < 4.0
+
+
+if __name__ == "__main__":  # manual acceptance-scale run
+    os.environ["BENCH_ROUTING_FULL"] = "1"
+    test_landmark_warmup_and_stretch()

@@ -43,6 +43,7 @@ from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.graphs.builders import GraphBuilder
 from repro.graphs.families import GRAPH_FAMILIES, build_family_graph
+from repro.graphs.provider import DISTANCE_MODES, DistanceProvider, make_distance_provider
 from repro.core.base import AugmentationScheme, AugmentedGraph
 from repro.core.uniform import UniformScheme
 from repro.core.kleinberg import DistancePowerScheme
@@ -63,6 +64,9 @@ __all__ = [
     "generators",
     "GRAPH_FAMILIES",
     "build_family_graph",
+    "DISTANCE_MODES",
+    "DistanceProvider",
+    "make_distance_provider",
     "AugmentationScheme",
     "AugmentedGraph",
     "UniformScheme",

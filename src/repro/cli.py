@@ -14,6 +14,8 @@ Five subcommands cover the library's day-to-day uses without writing Python:
   multi-process queue, ``--graph-cache`` spills the GraphStore's BFS arrays
   so graph instances are shared across workers and runs,
   ``--oracle-max-bytes`` byte-budgets the distance oracles' resident memory,
+  ``--distance-mode landmark --landmarks L`` swaps bulk distance queries onto
+  a pivot sketch (exact BFS kept for routing trajectories),
   ``--kernel-backend`` selects the compiled BFS/hop-table kernels,
   ``--stats`` reports hit rates, memory use and which kernel backend served
   each cell).
@@ -47,6 +49,7 @@ from repro.graphs import kernels
 from repro.graphs.families import GRAPH_FAMILIES, build_family_graph
 from repro.graphs.distances import diameter
 from repro.graphs.graph import Graph
+from repro.graphs.provider import DISTANCE_MODES, make_distance_provider
 from repro.routing.simulator import ROUTING_ENGINES, estimate_greedy_diameter
 
 __all__ = ["main", "build_parser", "GRAPH_FAMILIES", "UsageError"]
@@ -145,6 +148,43 @@ def _jobs_flags() -> argparse.ArgumentParser:
     return parent
 
 
+def _distance_flags() -> argparse.ArgumentParser:
+    """``--distance-mode`` + ``--landmarks`` + ``--oracle-max-bytes``.
+
+    The distance-provider knobs, shared verbatim by ``route``, ``serve`` and
+    ``experiment`` so a budgeted / landmark-backed oracle can be requested
+    anywhere a session or sweep constructs one.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--distance-mode",
+        choices=DISTANCE_MODES,
+        default="exact",
+        help=(
+            "distance provider: 'exact' BFS rows everywhere (default), or "
+            "'landmark' pivot-sketch estimates for bulk queries with exact "
+            "BFS kept for routing trajectories"
+        ),
+    )
+    parent.add_argument(
+        "--landmarks",
+        type=int,
+        default=16,
+        metavar="L",
+        help="pivot count for --distance-mode landmark (default 16)",
+    )
+    parent.add_argument(
+        "--oracle-max-bytes",
+        type=parse_byte_size,
+        metavar="BYTES",
+        help=(
+            "byte budget for each distance oracle's resident memory "
+            "(e.g. 512M or 1G); colder rows spill to a memory-mapped file"
+        ),
+    )
+    return parent
+
+
 # --------------------------------------------------------------------------- #
 # Subcommand handlers
 # --------------------------------------------------------------------------- #
@@ -186,6 +226,15 @@ def _cmd_route(args: argparse.Namespace) -> int:
         kernels.set_backend(args.kernel_backend)
         kernels.warmup_active()
     graph = _make_graph(args.family, args.size, args.seed)
+    # One provider shared across the compared schemes: BFS arrays pool, and
+    # under --distance-mode landmark the pair sampling rides the sketch.
+    oracle = make_distance_provider(
+        graph,
+        args.distance_mode,
+        landmarks=args.landmarks,
+        seed=args.seed,
+        max_bytes=args.oracle_max_bytes,
+    )
     rows = []
     for scheme_name in args.schemes:
         scheme = make_scheme(scheme_name, graph, seed=args.seed)
@@ -195,6 +244,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             num_pairs=args.pairs,
             trials=args.trials,
             seed=args.seed,
+            oracle=oracle,
             engine=args.engine,
         )
         rows.append(
@@ -211,7 +261,21 @@ def _cmd_route(args: argparse.Namespace) -> int:
             rows, headers=["scheme", "greedy diameter", "mean steps", "long-link share"]
         )
     )
+    if args.distance_mode != "exact":
+        print(_distance_stats_line(oracle.distance_stats()), file=sys.stderr)
     return 0
+
+
+def _distance_stats_line(stats: dict) -> str:
+    """One-line ``--stats``/route summary of a provider's distance_stats()."""
+    stretch = stats.get("mean_stretch")
+    stretch_text = f"{stretch:.4f}" if stretch is not None else "unmeasured"
+    return (
+        f"distance provider: mode={stats.get('mode', 'exact')}, "
+        f"{stats.get('landmark_sweeps', 0)} landmark sweep(s), "
+        f"{stats.get('sketch_queries', 0)} sketch query(ies), "
+        f"mean stretch {stretch_text}"
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -244,6 +308,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         scheme=args.scheme,
         oracle_max_bytes=args.oracle_max_bytes,
+        distance_mode=args.distance_mode,
+        landmarks=args.landmarks,
         kernel_backend=args.kernel_backend,
     )
     n = session.graph.num_nodes
@@ -303,7 +369,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # (asserted by the parity tests), so artifacts stay interchangeable.
         kernels.set_backend(args.kernel_backend)
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
-    config = config.scaled(engine=args.engine)
+    config = config.scaled(
+        engine=args.engine,
+        distance_mode=args.distance_mode,
+        landmarks=args.landmarks,
+    )
     if args.sizes:
         config = config.scaled(sizes=list(args.sizes))
     only = args.only if args.only else None
@@ -379,6 +449,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
             memory += f"; peak RSS: {peak} byte(s)"
         print(memory, file=sys.stderr)
+        # Distance-provider summary (mode, sketch counters, measured stretch).
+        print(_distance_stats_line({**store, "mode": store.get("distance_mode")}), file=sys.stderr)
         # Which kernel backend actually served each computed cell.  A cell
         # served by numpy under a numba request is a *silent fallback*
         # (worker host missing the extra) — surfacing it here is what keeps
@@ -450,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "BFS/hop-table kernel backend (auto = numba when installed; "
                 "results are backend-invariant)"
             ),
+            _distance_flags(),
         ],
     )
     p_route.add_argument("family", choices=sorted(GRAPH_FAMILIES))
@@ -470,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
             _instance_flags(4096),
             _engine_flags("routing engine (the daemon batches lanes; only 'lane' is supported)"),
             _kernel_flags("BFS/hop-table kernel backend warmed before the session opens"),
+            _distance_flags(),
         ],
     )
     p_serve.add_argument("family", choices=sorted(GRAPH_FAMILIES))
@@ -494,12 +568,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-targets", type=int, default=32,
         help="routing-block rows to precompute before accepting queries (default 32)",
     )
-    p_serve.add_argument(
-        "--oracle-max-bytes",
-        type=parse_byte_size,
-        metavar="BYTES",
-        help="byte budget for the session oracle's resident memory (e.g. 512M)",
-    )
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_exp = sub.add_parser(
@@ -513,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "fingerprint: results are backend-invariant)"
             ),
             _jobs_flags(),
+            _distance_flags(),
         ],
     )
     p_exp.add_argument(
@@ -556,15 +625,6 @@ def build_parser() -> argparse.ArgumentParser:
             "directory for the GraphStore's fingerprint-checked raw .spill "
             "files (memory-mapped on reload; shares graph instances across "
             "--jobs workers, --shard processes and across runs)"
-        ),
-    )
-    p_exp.add_argument(
-        "--oracle-max-bytes",
-        type=parse_byte_size,
-        metavar="BYTES",
-        help=(
-            "byte budget for each distance oracle's resident memory "
-            "(e.g. 512M or 1G); colder rows spill to a memory-mapped file"
         ),
     )
     p_exp.add_argument(

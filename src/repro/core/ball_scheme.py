@@ -21,10 +21,14 @@ shows is unavoidable for name-independent (a-priori) schemes.
 
 Implementation notes
 --------------------
-* The simulator only ever needs contacts of *visited* nodes, so the BFS from
-  ``u`` required to enumerate ``B(u, 2^k)`` is performed lazily and memoised
-  in a :class:`repro.graphs.oracle.DistanceOracle` — pass the experiment's
-  shared oracle to pool those arrays with the routing simulator's.
+* The simulator only ever needs contacts of *visited* nodes, so the distance
+  row from ``u`` required to enumerate ``B(u, 2^k)`` is fetched lazily through
+  a :class:`repro.graphs.provider.DistanceProvider`'s **query tier** — pass
+  the experiment's shared provider to pool those arrays with the routing
+  simulator's.  On an exact provider the query tier is the memoised BFS
+  cache; on a landmark provider the ball profiles ride the sketch (one tiny
+  min-plus reduction per node instead of a full-graph BFS), which is where
+  the bulk of landmark mode's BFS savings comes from.
 * ``radius_distribution`` lets experiments reweight the choice of ``k`` (the
   paper's ablation question: how much does the uniform-in-``k`` mixture
   matter?).  The default is the paper's uniform distribution.
@@ -42,6 +46,7 @@ from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.distances import UNREACHABLE
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import DistanceOracle
+from repro.graphs.provider import DistanceProvider
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_node_index
 
@@ -63,10 +68,11 @@ class BallScheme(AugmentationScheme):
     seed:
         Seed for the internal generator.
     oracle:
-        Optional shared :class:`~repro.graphs.oracle.DistanceOracle`.  Pass
-        the experiment-wide oracle so the scheme's ball lookups reuse the BFS
-        arrays the routing simulator already computed (and vice versa); by
-        default the scheme creates a private unbounded oracle.
+        Optional shared :class:`~repro.graphs.provider.DistanceProvider`.
+        Pass the experiment-wide provider so the scheme's ball lookups reuse
+        the distance arrays the routing simulator already computed (and vice
+        versa); by default the scheme creates a private unbounded exact
+        :class:`~repro.graphs.oracle.DistanceOracle`.
     """
 
     scheme_name = "ball"
@@ -79,7 +85,7 @@ class BallScheme(AugmentationScheme):
         num_levels: Optional[int] = None,
         radius_distribution: Optional[Sequence[float]] = None,
         seed: RngLike = None,
-        oracle: Optional[DistanceOracle] = None,
+        oracle: Optional[DistanceProvider] = None,
     ) -> None:
         super().__init__(graph, seed=seed)
         n = graph.num_nodes
@@ -105,9 +111,10 @@ class BallScheme(AugmentationScheme):
         #: node -> (distances sorted ascending, node ids in the same order),
         #: restricted to the node's component; backs the batched sampler's
         #: "|B(u, r)| = searchsorted" trick.  LRU-capped to the backing
-        #: oracle's max_entries so an oracle configured to bound memory is
-        #: not defeated by this secondary per-node cache.
+        #: oracle's max_entries AND max_bytes so an oracle configured to
+        #: bound memory is not defeated by this secondary per-node cache.
         self._profiles: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        self._profile_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -130,8 +137,8 @@ class BallScheme(AugmentationScheme):
         )
 
     @property
-    def oracle(self) -> DistanceOracle:
-        """The distance oracle backing the scheme's ball lookups."""
+    def oracle(self) -> DistanceProvider:
+        """The distance provider backing the scheme's ball lookups."""
         return self._oracle
 
     def reset_cache(self) -> None:
@@ -143,6 +150,7 @@ class BallScheme(AugmentationScheme):
         """
         self._oracle.clear()
         self._profiles.clear()
+        self._profile_bytes = 0
 
     def cache_size(self) -> int:
         """Number of BFS arrays in the backing oracle (for memory accounting).
@@ -157,7 +165,9 @@ class BallScheme(AugmentationScheme):
     # ------------------------------------------------------------------ #
 
     def _distances_from(self, node: int) -> np.ndarray:
-        return self._oracle.distances_from(node)
+        # Query tier: balls are bulk *estimates*, never trajectories, so a
+        # landmark provider may serve them from its sketch.
+        return self._oracle.query_distances_from(node)
 
     def sample_level(self, rng: Optional[np.random.Generator] = None) -> int:
         """Draw the level ``k ∈ {1, …, num_levels}`` from the level distribution."""
@@ -192,13 +202,26 @@ class BallScheme(AugmentationScheme):
             ids = reachable[order]
             profile = (dist[ids], ids)
             self._profiles[node] = profile
-            cap = self._oracle.max_entries
+            self._profile_bytes += profile[0].nbytes + profile[1].nbytes
+            cap = getattr(self._oracle, "max_entries", None)
             if cap is not None:
                 while len(self._profiles) > cap:
-                    self._profiles.popitem(last=False)
+                    self._evict_oldest_profile()
+            # A byte-budgeted oracle must not be defeated by this secondary
+            # cache either: profiles are ~2 full-width arrays per node (16 MB
+            # each at n = 10^6), so they honour the same budget.  At least
+            # the newest profile always stays resident.
+            byte_cap = getattr(self._oracle, "max_bytes", None)
+            if byte_cap is not None:
+                while len(self._profiles) > 1 and self._profile_bytes > byte_cap:
+                    self._evict_oldest_profile()
         else:
             self._profiles.move_to_end(node)
         return profile
+
+    def _evict_oldest_profile(self) -> None:
+        _, evicted = self._profiles.popitem(last=False)
+        self._profile_bytes -= evicted[0].nbytes + evicted[1].nbytes
 
     def sample_contacts(
         self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
@@ -225,7 +248,7 @@ class BallScheme(AugmentationScheme):
         # 2^k, clamped: any radius >= n already covers the whole component.
         radii = np.int64(1) << np.minimum(levels, 62).astype(np.int64)
         uniq, inverse = np.unique(flat, return_inverse=True)
-        self._oracle.prefetch(uniq.tolist())
+        self._oracle.prefetch_query(uniq.tolist())
         for j, node in enumerate(uniq.tolist()):
             lanes = np.nonzero(inverse == j)[0]
             sorted_d, ids = self._ball_profile(int(node))
@@ -254,7 +277,7 @@ class BallScheme(AugmentationScheme):
         levels = np.searchsorted(self._level_cumulative, uniforms[0], side="right") + 1
         radii = np.int64(1) << np.minimum(levels, 62).astype(np.int64)
         uniq, inverse = np.unique(nodes, return_inverse=True)
-        self._oracle.prefetch(uniq.tolist())
+        self._oracle.prefetch_query(uniq.tolist())
         for j, node in enumerate(uniq.tolist()):
             lanes = np.nonzero(inverse == j)[0]
             sorted_d, ids = self._ball_profile(int(node))

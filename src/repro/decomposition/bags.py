@@ -8,9 +8,14 @@
 
 Length needs graph distances; to avoid recomputing BFS for overlapping bags
 the decomposition code shares the repo-wide
-:class:`repro.graphs.oracle.DistanceOracle` (re-exported here for backwards
+:class:`repro.graphs.provider.DistanceProvider` (the concrete
+:class:`repro.graphs.oracle.DistanceOracle` is re-exported here for backwards
 compatibility — this module used to define its own local cache before the
 oracle became a shared subsystem backed by the vectorized frontier engine).
+``length`` is a *max* over exact pairwise distances — an admissible
+over-estimate would inflate it — so the measures stay on the exact tier
+(:meth:`~repro.graphs.provider.DistanceProvider.distances_from`) regardless
+of the provider's mode.
 """
 
 from __future__ import annotations
@@ -19,8 +24,9 @@ from typing import FrozenSet, Iterable, Optional
 
 from repro.graphs.distances import UNREACHABLE
 from repro.graphs.oracle import DistanceOracle
+from repro.graphs.provider import DistanceProvider
 
-__all__ = ["DistanceOracle", "bag_width", "bag_length", "bag_shape"]
+__all__ = ["DistanceOracle", "DistanceProvider", "bag_width", "bag_length", "bag_shape"]
 
 
 def bag_width(bag: Iterable[int]) -> int:
@@ -28,7 +34,7 @@ def bag_width(bag: Iterable[int]) -> int:
     return len(frozenset(int(v) for v in bag)) - 1
 
 
-def bag_length(bag: Iterable[int], oracle: DistanceOracle) -> int:
+def bag_length(bag: Iterable[int], oracle: DistanceProvider) -> int:
     """``length(X) = max_{x,y in X} dist_G(x, y)``.
 
     Unreachable pairs (the bag straddles two components, which a valid
@@ -52,7 +58,7 @@ def bag_length(bag: Iterable[int], oracle: DistanceOracle) -> int:
 
 def bag_shape(
     bag: Iterable[int],
-    oracle: Optional[DistanceOracle] = None,
+    oracle: Optional[DistanceProvider] = None,
     *,
     width_only: bool = False,
 ) -> int:

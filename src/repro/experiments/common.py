@@ -40,6 +40,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import DistanceOracle
+from repro.graphs.provider import DistanceProvider
 from repro.graphs.store import GraphStore, StoreEntry
 from repro.routing.simulator import (
     RoutingEstimate,
@@ -68,12 +69,13 @@ __all__ = [
 ]
 
 GraphFactory = Callable[[int, int], Graph]
-#: Builds a scheme for one cell: ``(graph, seed, oracle) -> scheme``.  Schemes
-#: that can pool BFS work (e.g. ``BallScheme``) should pass the oracle through;
-#: the others simply ignore it.
-SchemeFactory = Callable[[Graph, int, DistanceOracle], AugmentationScheme]
-#: Builds the per-cell oracle; tests inject counting/recording factories here.
-OracleFactory = Callable[[Graph], DistanceOracle]
+#: Builds a scheme for one cell: ``(graph, seed, provider) -> scheme``.  Schemes
+#: that can pool BFS work (e.g. ``BallScheme``) should pass the provider
+#: through; the others simply ignore it.
+SchemeFactory = Callable[[Graph, int, DistanceProvider], AugmentationScheme]
+#: Builds the per-cell distance provider; tests inject counting/recording
+#: factories here (and the store builds mode-selected providers by default).
+OracleFactory = Callable[[Graph], DistanceProvider]
 #: JSON-safe payload of one computed cell (see :func:`scaling_cell`).
 CellPayload = Dict[str, object]
 
@@ -107,8 +109,8 @@ def derive_instance_seed(master_seed: int, family: str, n: int) -> int:
     return int.from_bytes(hashlib.sha256(key).digest()[:4], "big") & 0x7FFFFFFF
 
 
-def make_oracle(oracle_factory: Optional[OracleFactory], graph: Graph) -> DistanceOracle:
-    """Instantiate the cell oracle (default :class:`DistanceOracle`)."""
+def make_oracle(oracle_factory: Optional[OracleFactory], graph: Graph) -> DistanceProvider:
+    """Instantiate the cell provider (default exact :class:`DistanceOracle`)."""
     factory = oracle_factory if oracle_factory is not None else DistanceOracle
     return factory(graph)
 
@@ -191,7 +193,7 @@ def route_point(
     config: ExperimentConfig,
     *,
     seed: int,
-    oracle: DistanceOracle,
+    oracle: DistanceProvider,
     pairs: Optional[Sequence[Tuple[int, int]]] = None,
     pair_seed: Optional[int] = None,
 ) -> Dict[str, object]:

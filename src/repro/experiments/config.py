@@ -32,6 +32,16 @@ class ExperimentConfig:
         per-route reference loop).  Part of the artifact fingerprint: the two
         engines are statistically equivalent but draw different random
         streams, so their cells must not be mixed silently on ``--resume``.
+    distance_mode:
+        Distance provider every instance oracle uses: ``"exact"`` (default;
+        plain BFS oracle) or ``"landmark"`` (pivot sketch for bulk queries,
+        exact BFS for routing blocks).  Part of the fingerprint because the
+        sketch changes sampled pairs and ball profiles — landmark cells must
+        never be resumed into an exact artifact (or vice versa).
+    landmarks:
+        Pivot count for ``distance_mode="landmark"``; fingerprinted for the
+        same reason (ignored in exact mode but kept stable so exact
+        fingerprints round-trip unchanged).
     """
 
     sizes: List[int] = field(default_factory=lambda: [256, 512, 1024, 2048, 4096])
@@ -41,6 +51,8 @@ class ExperimentConfig:
     pair_strategy: str = "extremal"
     max_size: Optional[int] = None
     engine: str = "lane"
+    distance_mode: str = "exact"
+    landmarks: int = 16
 
     def effective_sizes(self) -> List[int]:
         """Sizes after applying ``max_size``."""

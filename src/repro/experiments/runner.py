@@ -153,7 +153,12 @@ def _run_cell_worker(
     # Warm the JIT before any timed work; idempotent per process (and free
     # for numpy), so the first cell pays compile time at most once.
     kernels.warmup_active()
-    store = process_store(graph_cache, oracle_max_bytes)
+    # The store key includes the distance-provider knobs: a landmark sweep
+    # sharing a worker process with an exact sweep must not share oracles
+    # (the spill *files* are mode-agnostic — exact BFS rows either way).
+    store = process_store(
+        graph_cache, oracle_max_bytes, config.distance_mode, config.landmarks
+    )
     payload = module.run_cell(config, family, n, store=store)
     store.spill()
     return experiment_id, family, n, payload, kernels.backend_stats()
@@ -258,6 +263,8 @@ class SweepExecutor:
                 spill_dir=self._graph_cache,
                 oracle_factory=oracle_factory,
                 oracle_max_bytes=oracle_max_bytes,
+                distance_mode=config.distance_mode,
+                landmarks=config.landmarks,
             )
             self._private_store = True
         else:

@@ -33,6 +33,8 @@ from repro.graphs.distances import (
 )
 from repro.graphs.frontier import bfs_distances_many
 from repro.graphs.oracle import DistanceOracle
+from repro.graphs.provider import DISTANCE_MODES, DistanceProvider, make_distance_provider
+from repro.graphs.landmark import LandmarkOracle
 from repro.graphs.balls import ball, ball_sizes
 from repro.graphs.components import connected_components, is_connected
 
@@ -43,6 +45,10 @@ __all__ = [
     "bfs_distances",
     "bfs_distances_many",
     "DistanceOracle",
+    "DistanceProvider",
+    "DISTANCE_MODES",
+    "LandmarkOracle",
+    "make_distance_provider",
     "distance_matrix",
     "eccentricity",
     "diameter",

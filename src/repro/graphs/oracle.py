@@ -413,6 +413,11 @@ class DistanceOracle:
         return self._graph
 
     @property
+    def mode(self) -> str:
+        """This provider's ``distance_mode`` name (see :mod:`repro.graphs.provider`)."""
+        return "exact"
+
+    @property
     def max_entries(self) -> Optional[int]:
         """LRU capacity (``None`` means unbounded)."""
         return self._max_entries
@@ -617,6 +622,32 @@ class DistanceOracle:
     def distances_to(self, target: int) -> np.ndarray:
         """Distance array *to* ``target`` (== ``distances_from``: undirected graphs)."""
         return self.distances_from(target)
+
+    def query_distances_from(self, source: int) -> np.ndarray:
+        """The query tier (bulk estimates): exact providers serve the BFS row.
+
+        Identical to :meth:`distances_from` here — same array, same hit/miss
+        accounting — so routing everything through the
+        :class:`~repro.graphs.provider.DistanceProvider` protocol leaves the
+        exact pipeline bitwise unchanged.  Approximate providers override
+        this with a sketch (see :class:`~repro.graphs.landmark.LandmarkOracle`).
+        """
+        return self.distances_from(source)
+
+    def prefetch_query(self, sources: Iterable[int]) -> None:
+        """Warm the query tier for *sources* (exact tier: one batched sweep)."""
+        self.prefetch(sources)
+
+    def distance_stats(self) -> Dict[str, object]:
+        """Provider-mode counters for ``--stats`` (the sketch surface is idle here)."""
+        return {
+            "mode": self.mode,
+            "landmarks": 0,
+            "landmark_sweeps": 0,
+            "sketch_queries": 0,
+            "stretch_rows": 0,
+            "mean_stretch": None,
+        }
 
     def distances_to_many(self, targets: Sequence[int]) -> np.ndarray:
         """Distance block of shape ``(len(targets), n)``, one row per target.

@@ -61,6 +61,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import DistanceOracle
+from repro.graphs.provider import DISTANCE_MODES, DistanceProvider, make_distance_provider
 from repro.utils.text import slugify
 
 __all__ = [
@@ -240,7 +241,7 @@ class StoreEntry:
     requested_n: int
     seed: int
     graph: Graph
-    oracle: DistanceOracle
+    oracle: DistanceProvider
     fingerprint: str
     extras: Dict[str, object] = field(default_factory=dict)
     #: Cached-array count (dist + next_local) at load / last spill; used to
@@ -276,16 +277,25 @@ class GraphStore:
         (fingerprint-checked, memory-mapped) and :meth:`spill` persists
         warmed oracles for other processes / later runs.
     oracle_factory:
-        Test hook building each instance's oracle (default
-        :class:`DistanceOracle`); counting oracles plug in here.
+        Test hook building each instance's provider (default: see
+        ``distance_mode``); counting oracles plug in here.  When given it
+        overrides ``distance_mode``/``landmarks``/``oracle_max_bytes``.
     max_instances:
         Optional LRU cap on live instances.  Evicted instances are spilled
         first (when a ``spill_dir`` is configured), so eviction costs a
         reload, not a recompute.
     oracle_max_bytes:
-        Byte budget handed to every default-constructed oracle (the
+        Byte budget handed to every default-constructed provider (the
         ``max_bytes=`` tier budget; ignored when an ``oracle_factory`` is
         given).
+    distance_mode:
+        Which :class:`~repro.graphs.provider.DistanceProvider` every
+        default-constructed instance gets: ``"exact"`` (a plain
+        :class:`DistanceOracle`) or ``"landmark"`` (the pivot sketch, seeded
+        with each instance's graph seed so all workers building the same
+        instance select the same pivots).
+    landmarks:
+        Pivot count for ``distance_mode="landmark"`` (ignored otherwise).
     verify_spill:
         Re-hash each spill file's data section against its recorded sha256
         on load (full-content check; the default relies on the magic,
@@ -296,17 +306,26 @@ class GraphStore:
         self,
         *,
         spill_dir: Optional[Union[str, Path]] = None,
-        oracle_factory: Optional[Callable[[Graph], DistanceOracle]] = None,
+        oracle_factory: Optional[Callable[[Graph], DistanceProvider]] = None,
         max_instances: Optional[int] = None,
         oracle_max_bytes: Optional[int] = None,
+        distance_mode: str = "exact",
+        landmarks: int = 16,
         verify_spill: bool = False,
     ) -> None:
         if max_instances is not None and max_instances < 1:
             raise ValueError("max_instances must be at least 1 (or None for unbounded)")
+        if distance_mode not in DISTANCE_MODES:
+            raise ValueError(
+                f"unknown distance_mode {distance_mode!r}; "
+                f"available: {', '.join(DISTANCE_MODES)}"
+            )
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._oracle_factory = oracle_factory
         self._max_instances = max_instances
         self._oracle_max_bytes = oracle_max_bytes
+        self._distance_mode = str(distance_mode)
+        self._landmarks = int(landmarks)
         self._verify_spill = verify_spill
         self._entries: "OrderedDict[Tuple[str, int, int], StoreEntry]" = OrderedDict()
         self._stats = {
@@ -329,18 +348,32 @@ class GraphStore:
     def spill_dir(self) -> Optional[Path]:
         return self._spill_dir
 
+    @property
+    def distance_mode(self) -> str:
+        """The ``distance_mode`` default-constructed providers use."""
+        return self._distance_mode
+
+    @property
+    def landmarks(self) -> int:
+        """Pivot count for landmark-mode providers."""
+        return self._landmarks
+
     def __len__(self) -> int:
         return len(self._entries)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         """Cache-effectiveness counters (graph builds/hits, spill IO, BFS).
 
         ``bfs_misses`` counts actual BFS sweeps run by the live + evicted
         oracles, ``bfs_hits`` cache-served distance queries and
         ``bfs_preloaded`` arrays absorbed from spill files (each one a BFS
-        that some process did *not* repeat).
+        that some process did *not* repeat).  ``distance_mode`` plus the
+        sketch counters (``sketch_queries``, ``landmark_sweeps``,
+        ``mean_stretch`` — the latter weighted by each live provider's
+        sampled row count, ``None`` when nothing was sampled) summarise the
+        provider layer; in exact mode they are the identity values.
         """
-        out = dict(self._stats)
+        out: Dict[str, object] = dict(self._stats)
         out["instances"] = len(self._entries)
         out["oracle_resident_bytes"] = sum(
             e.oracle.resident_bytes() for e in self._entries.values()
@@ -355,6 +388,23 @@ class GraphStore:
         out["bfs_preloaded"] = self._retired_preloaded + sum(
             e.oracle.preloaded for e in self._entries.values()
         )
+        out["distance_mode"] = self._distance_mode
+        sketch_queries = 0
+        landmark_sweeps = 0
+        stretch_rows = 0
+        stretch_sum = 0.0
+        for e in self._entries.values():
+            ds = e.oracle.distance_stats()
+            sketch_queries += int(ds.get("sketch_queries", 0))
+            landmark_sweeps += int(ds.get("landmark_sweeps", 0))
+            rows = int(ds.get("stretch_rows", 0))
+            mean = ds.get("mean_stretch")
+            if rows and mean is not None:
+                stretch_rows += rows
+                stretch_sum += float(mean) * rows
+        out["sketch_queries"] = sketch_queries
+        out["landmark_sweeps"] = landmark_sweeps
+        out["mean_stretch"] = (stretch_sum / stretch_rows) if stretch_rows else None
         return out
 
     def _retire(self, entry: StoreEntry) -> None:
@@ -401,7 +451,17 @@ class GraphStore:
         if self._oracle_factory is not None:
             oracle = self._oracle_factory(graph)
         else:
-            oracle = DistanceOracle(graph, max_bytes=self._oracle_max_bytes)
+            # Landmark pivot selection is seeded with the *instance* seed, so
+            # every worker (and every resumed run) building this instance
+            # picks identical pivots — the sketch is a pure function of the
+            # instance key.
+            oracle = make_distance_provider(
+                graph,
+                self._distance_mode,
+                landmarks=self._landmarks,
+                seed=int(seed),
+                max_bytes=self._oracle_max_bytes,
+            )
         entry = StoreEntry(
             family=str(family),
             requested_n=int(n),
@@ -499,24 +559,36 @@ class GraphStore:
 #: One store per (process, spill-dir) — ProcessPoolExecutor workers persist
 #: across cells, so cells that land in the same worker share instances in
 #: memory while cross-worker reuse flows through the spill directory.
-_PROCESS_STORES: Dict[Tuple[Optional[str], Optional[int]], GraphStore] = {}
+_PROCESS_STORES: Dict[
+    Tuple[Optional[str], Optional[int], str, int], GraphStore
+] = {}
 
 
 def process_store(
     spill_dir: Optional[Union[str, Path]] = None,
     oracle_max_bytes: Optional[int] = None,
+    distance_mode: str = "exact",
+    landmarks: int = 16,
 ) -> GraphStore:
     """The calling process's :class:`GraphStore` for *spill_dir* (created once).
 
-    Stores are keyed by ``(spill_dir, oracle_max_bytes)`` so sweeps with
-    different oracle byte budgets never share (differently-budgeted) oracles.
+    Stores are keyed by ``(spill_dir, oracle_max_bytes, distance_mode,
+    landmarks)`` so sweeps with different oracle byte budgets or distance
+    providers never share (differently-configured) provider caches.
     """
     key = (
         str(Path(spill_dir)) if spill_dir is not None else None,
         oracle_max_bytes,
+        str(distance_mode),
+        int(landmarks),
     )
     store = _PROCESS_STORES.get(key)
     if store is None:
-        store = GraphStore(spill_dir=spill_dir, oracle_max_bytes=oracle_max_bytes)
+        store = GraphStore(
+            spill_dir=spill_dir,
+            oracle_max_bytes=oracle_max_bytes,
+            distance_mode=distance_mode,
+            landmarks=landmarks,
+        )
         _PROCESS_STORES[key] = store
     return store

@@ -61,6 +61,7 @@ import numpy as np
 from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import FAR_DISTANCE, DistanceOracle
+from repro.graphs.provider import DistanceProvider
 from repro.utils.counterrng import lane_step_uniforms
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
@@ -136,7 +137,7 @@ def route_lanes(
     trials: int,
     seed: RngLike = None,
     max_steps: Optional[int] = None,
-    oracle: Optional[DistanceOracle] = None,
+    oracle: Optional[DistanceProvider] = None,
     contact_table: Optional[np.ndarray] = None,
     lane_seeds: Optional[np.ndarray] = None,
     blocks: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
@@ -159,9 +160,11 @@ def route_lanes(
         (default ``n``).  Without an explicit budget a failed lane means
         inconsistent inputs and raises ``RuntimeError``.
     oracle:
-        Shared :class:`~repro.graphs.oracle.DistanceOracle`; the engine pulls
-        one distance row and one ``next_local`` table per pair through it (a
-        private oracle is created when omitted).
+        Shared :class:`~repro.graphs.provider.DistanceProvider`; the engine
+        pulls one distance row and one ``next_local`` table per pair through
+        its *exact tier* — greedy's strict-``<`` comparisons need genuine BFS
+        rows in every ``distance_mode`` (a private exact oracle is created
+        when omitted).
     contact_table:
         Optional materialized ``(num_lanes, n)`` table from
         :func:`materialize_contact_table`; lane ``l`` at node ``u`` then uses

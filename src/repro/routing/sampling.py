@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.graphs.distances import bfs_distances, double_sweep_diameter_lower_bound
 from repro.graphs.graph import Graph
-from repro.graphs.oracle import DistanceOracle
+from repro.graphs.provider import DistanceProvider
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -47,7 +47,7 @@ def extremal_pairs(
     count: int,
     seed: RngLike = None,
     *,
-    oracle: Optional[DistanceOracle] = None,
+    oracle: Optional[DistanceProvider] = None,
 ) -> List[Tuple[int, int]]:
     """*count* pairs biased towards the diameter of the graph.
 
@@ -61,13 +61,18 @@ def extremal_pairs(
     no ``(s, s)`` self-pair is ever emitted.  A graph with no edges admits no
     valid pair and raises ``ValueError``.
 
-    *oracle* routes the per-source BFS sweeps through a shared
-    :class:`~repro.graphs.oracle.DistanceOracle` — including the initial
-    double sweep, so a warmed oracle serves the *whole* sampling pass without
-    a single fresh BFS: the sampled sources become routing *targets* of the
-    pairs it emits (each ``(s, t)`` is mirrored as ``(t, s)``), so the same
-    arrays are cache hits during simulation, and a later identically-seeded
-    sampling run (another experiment over the same instance) is pure hits.
+    *oracle* routes the per-source sweeps through a shared
+    :class:`~repro.graphs.provider.DistanceProvider`'s **query tier**
+    (:meth:`~repro.graphs.provider.DistanceProvider.query_distances_from`) —
+    including the initial double sweep.  On an exact provider that is the
+    accounted BFS cache: a warmed oracle serves the whole sampling pass
+    without a single fresh BFS, the sampled sources become routing *targets*
+    of the pairs it emits (each ``(s, t)`` is mirrored as ``(t, s)``), so the
+    same arrays are cache hits during simulation, and a later
+    identically-seeded sampling run (another experiment over the same
+    instance) is pure hits.  On a landmark provider the whole pass rides the
+    sketch — no per-source BFS at all; a draw whose sketch row offers no
+    positive-distance partner is rejected the same way a self-pair is.
     """
     count = check_positive_int(count, "count")
     n = graph.num_nodes
@@ -79,20 +84,26 @@ def extremal_pairs(
     pairs: List[Tuple[int, int]] = []
     start = int(rng.integers(0, n))
     if oracle is not None:
-        # Oracle-backed double sweep: same argmax tie-breaking as
-        # double_sweep_diameter_lower_bound, but both BFS arrays are cached.
-        a = int(np.argmax(oracle.distances_from(start)))
-        b = int(np.argmax(oracle.distances_from(a)))
+        # Provider-backed double sweep: same argmax tie-breaking as
+        # double_sweep_diameter_lower_bound, but both rows come from the
+        # query tier (exact: cached BFS; landmark: the sketch).
+        a = int(np.argmax(oracle.query_distances_from(start)))
+        b = int(np.argmax(oracle.query_distances_from(a)))
     else:
         a, b, _ = double_sweep_diameter_lower_bound(graph, start=start)
     if a != b:
         pairs.append((a, b))
     while len(pairs) < count:
         s = int(rng.integers(0, n))
-        dist = oracle.distances_from(s) if oracle is not None else bfs_distances(graph, s)
+        dist = (
+            oracle.query_distances_from(s) if oracle is not None else bfs_distances(graph, s)
+        )
         t = int(np.argmax(dist))
-        if t == s:
+        if t == s or dist[t] <= 0:
             # s is isolated (or a singleton component): no valid partner.
+            # The <= 0 guard additionally rejects sketch rows whose best
+            # entry is UNREACHABLE (a component no pivot covers); on exact
+            # rows it never fires beyond the t == s case.
             continue
         pairs.append((s, t))
         if len(pairs) < count:

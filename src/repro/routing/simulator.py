@@ -49,6 +49,7 @@ import numpy as np
 from repro.core.base import NO_CONTACT, AugmentationScheme
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import FAR_DISTANCE, DistanceOracle
+from repro.graphs.provider import DistanceProvider
 from repro.routing.engine import route_lanes
 from repro.routing.greedy import greedy_route
 from repro.routing.sampling import extremal_pairs, uniform_pairs
@@ -170,7 +171,7 @@ def route_queries(
     scheme: AugmentationScheme,
     queries: Sequence[Tuple[int, int, int]],
     *,
-    oracle: Optional[DistanceOracle] = None,
+    oracle: Optional[DistanceProvider] = None,
     max_steps: Optional[int] = None,
     blocks: Optional[tuple] = None,
 ) -> List[QueryOutcome]:
@@ -325,7 +326,7 @@ def estimate_expected_steps(
     trials: int = 16,
     seed: RngLike = None,
     max_steps: Optional[int] = None,
-    oracle: Optional[DistanceOracle] = None,
+    oracle: Optional[DistanceProvider] = None,
     engine: str = "lane",
 ) -> RoutingEstimate:
     """Estimate ``E(φ, s, t)`` for every pair in *pairs* and aggregate.
@@ -348,10 +349,12 @@ def estimate_expected_steps(
         pair whose trials *all* fail raises ``ValueError`` (its expected cost
         cannot be estimated from the budget).
     oracle:
-        Optional shared :class:`~repro.graphs.oracle.DistanceOracle` serving
-        the per-target distance arrays.  Pass one oracle across calls (and to
-        :class:`~repro.core.ball_scheme.BallScheme`) to reuse BFS work for an
-        entire experiment; by default a private oracle is created per call.
+        Optional shared :class:`~repro.graphs.provider.DistanceProvider`
+        serving the per-target distance arrays (always from the exact tier —
+        trajectories need genuine BFS rows).  Pass one provider across calls
+        (and to :class:`~repro.core.ball_scheme.BallScheme`) to reuse BFS
+        work for an entire experiment; by default a private exact oracle is
+        created per call.
     engine:
         ``"lane"`` (default, the vectorized step-synchronous engine of
         :mod:`repro.routing.engine`) or ``"scalar"`` (the per-route Python
@@ -383,7 +386,7 @@ def _estimate_scalar(
     trials: int,
     seed: RngLike,
     max_steps: Optional[int],
-    oracle: DistanceOracle,
+    oracle: DistanceProvider,
 ) -> RoutingEstimate:
     """The historical per-route loop (``engine="scalar"``)."""
     rngs = spawn_rngs(seed, len(pairs))
@@ -434,7 +437,7 @@ def _estimate_lane(
     trials: int,
     seed: RngLike,
     max_steps: Optional[int],
-    oracle: DistanceOracle,
+    oracle: DistanceProvider,
 ) -> RoutingEstimate:
     """Fold one lane-engine batch into the per-pair estimate structure."""
     batch = route_lanes(
@@ -489,7 +492,7 @@ def estimate_greedy_diameter(
     seed: RngLike = None,
     pair_strategy: str = "extremal",
     max_steps: Optional[int] = None,
-    oracle: Optional[DistanceOracle] = None,
+    oracle: Optional[DistanceProvider] = None,
     engine: str = "lane",
     pair_seed: Optional[int] = None,
 ) -> RoutingEstimate:

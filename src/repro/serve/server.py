@@ -10,6 +10,13 @@ field is what keeps clients sane).
 Shutdown is graceful: :meth:`RouteServer.stop` stops accepting connections,
 waits for request tasks already accepted, drains the batcher (every accepted
 query gets its response) and only then closes the connections.
+
+The server is distance-provider agnostic: it talks to the session, and the
+session talks to whatever :class:`~repro.graphs.provider.DistanceProvider`
+it was opened with.  The ``info`` op therefore surfaces the session's
+``distance_mode`` (plus ``landmarks`` / ``mean_stretch`` in landmark mode)
+without any serve-layer wiring — served trajectories themselves always ride
+the provider's exact tier, so routed outcomes are mode-independent.
 """
 
 from __future__ import annotations

@@ -50,6 +50,7 @@ from repro.graphs import kernels
 from repro.graphs.families import build_family_graph
 from repro.graphs.graph import Graph
 from repro.graphs.oracle import DistanceOracle
+from repro.graphs.provider import DISTANCE_MODES, DistanceProvider
 from repro.graphs.store import GraphStore
 from repro.routing.simulator import (
     QueryOutcome,
@@ -87,6 +88,8 @@ def open_session(
     scheme_kwargs: Optional[dict] = None,
     store: Optional[GraphStore] = None,
     oracle_max_bytes: Optional[int] = None,
+    distance_mode: str = "exact",
+    landmarks: int = 16,
     kernel_backend: Optional[str] = None,
     warm_targets: Iterable[int] = (),
 ) -> "RoutingSession":
@@ -104,8 +107,17 @@ def open_session(
         ``scheme_kwargs`` are forwarded to its constructor.
     store:
         Optional shared :class:`~repro.graphs.store.GraphStore`; by default
-        the session creates a private store (``oracle_max_bytes`` byte-budgets
-        its oracles either way).
+        the session creates a private store (``oracle_max_bytes`` /
+        ``distance_mode`` / ``landmarks`` configure its providers).  When a
+        *store* is given, its own provider configuration wins — pass a store
+        built with the wanted ``distance_mode``.
+    distance_mode:
+        Distance provider mode for the session's instance: ``"exact"``
+        (default) or ``"landmark"`` (pivot sketch for bulk queries; served
+        trajectories always use the exact tier, so routed outcomes are
+        mode-independent).
+    landmarks:
+        Pivot count for ``distance_mode="landmark"``.
     kernel_backend:
         Optional BFS/hop-table kernel backend, selected and warmed before any
         BFS runs (results are backend-invariant).
@@ -113,11 +125,20 @@ def open_session(
         Targets whose routing blocks are pinned before the session is
         returned — the daemon's "warm pool".
     """
+    if distance_mode not in DISTANCE_MODES:
+        raise ValueError(
+            f"unknown distance_mode {distance_mode!r}; "
+            f"available: {', '.join(DISTANCE_MODES)}"
+        )
     if kernel_backend:
         kernels.set_backend(kernel_backend)
         kernels.warmup_active()
     if store is None:
-        store = GraphStore(oracle_max_bytes=oracle_max_bytes)
+        store = GraphStore(
+            oracle_max_bytes=oracle_max_bytes,
+            distance_mode=distance_mode,
+            landmarks=landmarks,
+        )
     entry = store.instance(family, n, seed, lambda size, s: build_family_graph(family, size, s))
     try:
         scheme_obj = make_scheme(scheme, entry.graph, seed=seed, **(scheme_kwargs or {}))
@@ -152,7 +173,7 @@ class RoutingSession:
         self,
         graph: Graph,
         scheme: AugmentationScheme,
-        oracle: Optional[DistanceOracle] = None,
+        oracle: Optional[DistanceProvider] = None,
         *,
         family: Optional[str] = None,
         requested_n: Optional[int] = None,
@@ -193,7 +214,7 @@ class RoutingSession:
         return self._scheme
 
     @property
-    def oracle(self) -> DistanceOracle:
+    def oracle(self) -> DistanceProvider:
         return self._oracle
 
     @property
@@ -208,7 +229,7 @@ class RoutingSession:
 
     def info(self) -> dict:
         """Machine-readable session descriptor (the daemon's ``info`` op)."""
-        return {
+        out = {
             "family": self._family,
             "n": self._graph.num_nodes,
             "requested_n": self._requested_n,
@@ -219,7 +240,13 @@ class RoutingSession:
             "warmed_targets": list(self._pinned),
             "queries_served": self._queries_served,
             "block_resets": self._block_resets,
+            "distance_mode": getattr(self._oracle, "mode", "exact"),
         }
+        if out["distance_mode"] != "exact":
+            stats = self._oracle.distance_stats()
+            out["landmarks"] = stats.get("landmarks")
+            out["mean_stretch"] = stats.get("mean_stretch")
+        return out
 
     # ------------------------------------------------------------------ #
     # Pinned routing blocks

@@ -64,12 +64,18 @@ GATED_METRICS = {"speedup": True, "bytes_per_node": False}
 #: their own axes: ``serve_qps`` on sustained queries/second (higher is
 #: better), ``serve_latency`` on the closed loop's p99 response time in
 #: milliseconds (lower is better).
+#: The landmark sketch's records (``benchmarks/test_bench_approx_distance.py``)
+#: gate on ``warmup_seconds`` — the one-off pivot BFS cost that landmark mode
+#: pays instead of per-query exact sweeps — and on ``mean_stretch``, the
+#: sketch's quality against the ring's closed-form distances; both lower is
+#: better, so a slower warmup or a sloppier sketch fails the trend.
 KIND_GATED_METRICS = {
     "bfs_engine_highdiam": {"engine_seconds": False},
     "bfs_kernel_compiled": {"engine_seconds": False},
     "next_local_compiled": {"engine_seconds": False},
     "serve_qps": {"qps": True},
     "serve_latency": {"p99_ms": False},
+    "approx_distance": {"warmup_seconds": False, "mean_stretch": False},
 }
 
 
